@@ -1,0 +1,52 @@
+"""Bench E7 — Figures 11, 13 & 14: the effect of the training-set size."""
+
+import pytest
+
+from repro.experiments import (
+    FAST_TRAINING_SIZES,
+    PAPER_TRAINING_SIZES,
+    format_training_size,
+    run_figure13,
+    run_training_size_sweep,
+    small_training_set_suffices,
+)
+
+
+@pytest.mark.parametrize(
+    "figure,algorithm", [("fig11", "BLAST"), ("fig14", "RCNP")], ids=["figure11_blast", "figure14_rcnp"]
+)
+def test_training_size_sweep(benchmark, small_config, report_sink, full_mode, figure, algorithm):
+    """Sweep the number of labelled instances and report Re/Pr/F1 per size."""
+    sizes = PAPER_TRAINING_SIZES if full_mode else FAST_TRAINING_SIZES
+    points = benchmark.pedantic(
+        run_training_size_sweep,
+        args=(algorithm, small_config, sizes),
+        rounds=1,
+        iterations=1,
+    )
+    title = f"Figure {'11' if algorithm == 'BLAST' else '14'} — training-set size sweep for {algorithm}"
+    report_sink(f"{figure}_training_size_{algorithm.lower()}", format_training_size(points, title))
+
+    # the paper's conclusion: 50 labelled instances already suffice
+    assert small_training_set_suffices(points, small=50, tolerance=0.15)
+    # recall must stay high across the whole sweep
+    assert all(point.report.recall > 0.6 for point in points)
+
+
+def test_figure13_bcl_vs_blast(benchmark, small_config, report_sink):
+    """Figure 13: recall/precision of BCl and BLAST as the training set grows."""
+    series = benchmark.pedantic(
+        run_figure13,
+        args=(small_config,),
+        kwargs=dict(sizes=(50, 200, 500)),
+        rounds=1,
+        iterations=1,
+    )
+    text = "\n\n".join(
+        format_training_size(points, f"Figure 13 — {name}") for name, points in series.items()
+    )
+    report_sink("fig13_bcl_vs_blast", text)
+
+    # BLAST's precision dominates BCl's at every training size (same features)
+    for blast_point, bcl_point in zip(series["BLAST"], series["BCl"]):
+        assert blast_point.report.precision >= bcl_point.report.precision - 0.02

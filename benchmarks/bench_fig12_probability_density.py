@@ -1,0 +1,30 @@
+"""Bench E8 — Figure 12: matching-probability distributions vs training size."""
+
+from repro.experiments import (
+    format_probability_density,
+    probabilities_shift_upwards,
+    run_probability_density,
+)
+
+
+def test_figure12_probability_density(benchmark, small_config, report_sink, full_mode):
+    """Histogram the match probabilities of duplicates vs non-duplicates (AbtBuy)."""
+    sizes = (20, 50, 100, 200, 350, 500) if full_mode else (50, 200, 500)
+    snapshots = benchmark.pedantic(
+        run_probability_density,
+        args=("AbtBuy", sizes, small_config),
+        rounds=1,
+        iterations=1,
+    )
+    report_sink("fig12_probability_density", format_probability_density(snapshots))
+
+    # structural checks on the Figure 12 data
+    for snapshot in snapshots:
+        assert snapshot.matching_density.shape == snapshot.non_matching_density.shape
+        assert 0.0 <= snapshot.average_threshold <= snapshot.maximum_threshold <= 1.0
+        # duplicates concentrate on higher probabilities than non-duplicates
+        assert snapshot.matching_quartiles[1] >= snapshot.non_matching_quartiles[1]
+
+    # the paper's observation: larger training sets push the duplicate
+    # probabilities upwards (never downwards)
+    assert probabilities_shift_upwards(snapshots)

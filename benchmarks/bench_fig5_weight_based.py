@@ -1,0 +1,28 @@
+"""Bench E2 — Figure 5: weight-based pruning algorithm selection."""
+
+from repro.evaluation import format_measure_series
+from repro.experiments import (
+    format_pruning_selection,
+    paper_figure5_reference,
+    run_figure5,
+)
+
+
+def test_figure5_weight_based_algorithms(benchmark, bench_config, report_sink):
+    """Compare BCl, WEP, WNP, RWNP and BLAST (original feature set, 500 labels)."""
+    result = benchmark.pedantic(run_figure5, args=(bench_config,), rounds=1, iterations=1)
+    series = result.series()
+
+    report = format_pruning_selection(result, "Figure 5 — weight-based pruning algorithms")
+    paper = format_measure_series(
+        paper_figure5_reference(), title="Figure 5 — paper-reported averages (approximate)"
+    )
+    report_sink("fig5_weight_based", report + "\n\n" + paper)
+
+    # Shape checks mirroring the paper's findings:
+    # the new algorithms trade recall for clearly better precision than BCl ...
+    assert series["WEP"]["precision"] >= series["BCl"]["precision"]
+    assert series["RWNP"]["precision"] >= series["BCl"]["precision"]
+    # ... with RWNP/WEP the deepest pruners and WNP/BLAST the recall-friendly ones
+    assert series["RWNP"]["recall"] <= series["WNP"]["recall"] + 0.02
+    assert series["BLAST"]["recall"] >= series["RWNP"]["recall"] - 0.02

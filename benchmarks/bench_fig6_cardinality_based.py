@@ -1,0 +1,25 @@
+"""Bench E3 — Figure 6: cardinality-based pruning algorithm selection."""
+
+from repro.evaluation import format_measure_series
+from repro.experiments import (
+    format_pruning_selection,
+    paper_figure6_reference,
+    run_figure6,
+)
+
+
+def test_figure6_cardinality_based_algorithms(benchmark, bench_config, report_sink):
+    """Compare CEP, CNP and RCNP (original feature set, 500 labels)."""
+    result = benchmark.pedantic(run_figure6, args=(bench_config,), rounds=1, iterations=1)
+    series = result.series()
+
+    report = format_pruning_selection(result, "Figure 6 — cardinality-based pruning algorithms")
+    paper = format_measure_series(
+        paper_figure6_reference(), title="Figure 6 — paper-reported averages (approximate)"
+    )
+    report_sink("fig6_cardinality_based", report + "\n\n" + paper)
+
+    # RCNP is the paper's clear winner: highest precision and F1 of the three.
+    assert series["RCNP"]["precision"] >= series["CNP"]["precision"] - 0.02
+    assert series["RCNP"]["precision"] >= series["CEP"]["precision"] - 0.02
+    assert series["RCNP"]["f1"] >= series["CNP"]["f1"] - 0.02

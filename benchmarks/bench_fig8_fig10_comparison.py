@@ -1,0 +1,49 @@
+"""Bench E6 — Figures 8 & 10: Generalized vs original Supervised Meta-blocking."""
+
+from repro.evaluation import format_measure_series
+from repro.experiments import (
+    format_figure8,
+    format_figure10,
+    paper_figure8_reference,
+    run_figure8,
+    run_figure10,
+)
+
+
+def test_figure8_effectiveness_comparison(benchmark, bench_config, report_sink):
+    """BLAST & RCNP (new features) vs BCl & CNP ([21] features), 500 labels."""
+    result = benchmark.pedantic(run_figure8, args=(bench_config,), rounds=1, iterations=1)
+    series = result.series()
+
+    report = format_figure8(result)
+    paper = format_measure_series(
+        paper_figure8_reference(), title="Figure 8 — paper-reported averages (approximate)"
+    )
+    report_sink("fig8_comparison", report + "\n\n" + paper)
+
+    # who wins: BLAST beats BCl on precision/F1; RCNP beats CNP on precision/F1
+    assert series["BLAST"]["precision"] >= series["BCl"]["precision"] - 0.01
+    assert series["BLAST"]["f1"] >= series["BCl"]["f1"] - 0.01
+    assert series["RCNP"]["precision"] >= series["CNP"]["precision"] - 0.01
+    assert series["RCNP"]["f1"] >= series["CNP"]["f1"] - 0.01
+
+
+def test_figure10_runtime_comparison(benchmark, small_config, report_sink, largest_datasets):
+    """Run-times of the four algorithms on the largest datasets."""
+    rows = benchmark.pedantic(
+        run_figure10,
+        args=(small_config,),
+        kwargs=dict(dataset_names=largest_datasets),
+        rounds=1,
+        iterations=1,
+    )
+    report_sink("fig10_runtime", format_figure10(rows))
+
+    by_algorithm = {}
+    for row in rows:
+        by_algorithm.setdefault(row["algorithm"], []).append(row["runtime_seconds"])
+    # every configuration completes and reports a positive run-time; the
+    # paper's LCP-driven ordering is not reproduced because this
+    # implementation amortises LCP per entity (see EXPERIMENTS.md)
+    assert set(by_algorithm) == {"BCl", "BLAST", "CNP", "RCNP"}
+    assert all(min(times) > 0 for times in by_algorithm.values())

@@ -1,0 +1,45 @@
+"""Bench E1 — Tables 1 & 2: dataset characteristics and input block quality."""
+
+from repro.evaluation import format_table
+from repro.experiments import format_block_quality, paper_table2_reference, run_block_quality
+
+
+def test_table1_table2_block_quality(benchmark, bench_config, report_sink):
+    """Regenerate Tables 1 & 2 and time the blocking pipeline."""
+    rows = benchmark.pedantic(
+        run_block_quality,
+        kwargs=dict(dataset_names=bench_config.dataset_names, seed=bench_config.seed),
+        rounds=1,
+        iterations=1,
+    )
+    report = format_block_quality(rows)
+
+    reference = paper_table2_reference()
+    comparison_rows = []
+    for row in rows:
+        paper = reference.get(row.dataset, {})
+        comparison_rows.append(
+            {
+                "dataset": row.dataset,
+                "paper_recall": paper.get("recall", float("nan")),
+                "measured_recall": row.recall,
+                "paper_precision": paper.get("precision", float("nan")),
+                "measured_precision": row.precision,
+            }
+        )
+    comparison = format_table(
+        comparison_rows,
+        columns=[
+            "dataset",
+            "paper_recall",
+            "measured_recall",
+            "paper_precision",
+            "measured_precision",
+        ],
+        title="Table 2 — paper vs measured (input block collections)",
+    )
+    report_sink("table1_table2_blocks", report + "\n\n" + comparison)
+
+    # the defining property of the input blocks: near-perfect recall, tiny precision
+    assert all(row.recall > 0.85 for row in rows)
+    assert all(row.precision < 0.1 for row in rows)

@@ -1,0 +1,53 @@
+"""Bench E9 — Table 5: per-dataset comparison of the final weight-based algorithms."""
+
+import numpy as np
+
+from repro.evaluation import format_table
+from repro.experiments import (
+    format_final_comparison,
+    paper_table5_reference,
+    run_table5,
+)
+
+
+def test_table5_weight_based_final(benchmark, bench_config, report_sink):
+    """BLAST (50 labels, Formula 1) vs BCl1 (same labels) vs BCl2 ([21] settings)."""
+    result = benchmark.pedantic(run_table5, args=(bench_config,), rounds=1, iterations=1)
+    reference = paper_table5_reference()
+
+    comparison_rows = []
+    for outcome in result.outcomes:
+        paper = reference.get(outcome.algorithm, {}).get(outcome.dataset, {})
+        comparison_rows.append(
+            {
+                "dataset": outcome.dataset,
+                "algorithm": outcome.algorithm,
+                "paper_recall": paper.get("recall", float("nan")),
+                "measured_recall": outcome.report.recall,
+                "paper_f1": paper.get("f1", float("nan")),
+                "measured_f1": outcome.report.f1,
+            }
+        )
+    comparison = format_table(
+        comparison_rows,
+        columns=["dataset", "algorithm", "paper_recall", "measured_recall", "paper_f1", "measured_f1"],
+        title="Table 5 — paper vs measured",
+    )
+    report_sink("table5_weight_based_final", format_final_comparison(result) + "\n\n" + comparison)
+
+    grouped = result.by_algorithm()
+    mean_f1 = {
+        name: float(np.mean([outcome.report.f1 for outcome in outcomes]))
+        for name, outcomes in grouped.items()
+    }
+    mean_recall = {
+        name: float(np.mean([outcome.report.recall for outcome in outcomes]))
+        for name, outcomes in grouped.items()
+    }
+    # who wins (Section 5.4.1): BLAST's recall is the highest of the three and
+    # it beats BCl1 (same 50 labelled instances) on F1; the paper's F1 edge
+    # over BCl2 depends on the original corpora's response to large training
+    # sets and is discussed in EXPERIMENTS.md.
+    assert mean_recall["BLAST"] >= mean_recall["BCl2"] - 0.02
+    assert mean_recall["BLAST"] >= mean_recall["BCl1"] - 0.02
+    assert mean_f1["BLAST"] >= mean_f1["BCl1"] - 0.02

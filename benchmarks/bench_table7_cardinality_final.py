@@ -1,0 +1,57 @@
+"""Bench E10 — Table 7: per-dataset comparison of the final cardinality-based algorithms."""
+
+import numpy as np
+
+from repro.evaluation import format_table
+from repro.experiments import (
+    format_final_comparison,
+    paper_table7_reference,
+    run_table7,
+)
+
+
+def test_table7_cardinality_final(benchmark, bench_config, report_sink):
+    """RCNP (50 labels, Formula 2) vs CNP1 (same labels) vs CNP2 ([21] settings)."""
+    result = benchmark.pedantic(run_table7, args=(bench_config,), rounds=1, iterations=1)
+    reference = paper_table7_reference()
+
+    comparison_rows = []
+    for outcome in result.outcomes:
+        paper = reference.get(outcome.algorithm, {}).get(outcome.dataset, {})
+        comparison_rows.append(
+            {
+                "dataset": outcome.dataset,
+                "algorithm": outcome.algorithm,
+                "paper_precision": paper.get("precision", float("nan")),
+                "measured_precision": outcome.report.precision,
+                "paper_f1": paper.get("f1", float("nan")),
+                "measured_f1": outcome.report.f1,
+            }
+        )
+    comparison = format_table(
+        comparison_rows,
+        columns=[
+            "dataset",
+            "algorithm",
+            "paper_precision",
+            "measured_precision",
+            "paper_f1",
+            "measured_f1",
+        ],
+        title="Table 7 — paper vs measured",
+    )
+    report_sink("table7_cardinality_final", format_final_comparison(result) + "\n\n" + comparison)
+
+    grouped = result.by_algorithm()
+    mean_precision = {
+        name: float(np.mean([outcome.report.precision for outcome in outcomes]))
+        for name, outcomes in grouped.items()
+    }
+    mean_f1 = {
+        name: float(np.mean([outcome.report.f1 for outcome in outcomes]))
+        for name, outcomes in grouped.items()
+    }
+    # who wins: RCNP outperforms both CNP baselines on precision and F1
+    assert mean_precision["RCNP"] >= mean_precision["CNP1"] - 0.02
+    assert mean_precision["RCNP"] >= mean_precision["CNP2"] - 0.02
+    assert mean_f1["RCNP"] >= mean_f1["CNP2"] - 0.02

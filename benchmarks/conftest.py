@@ -1,0 +1,91 @@
+"""Shared infrastructure for the benchmark harness.
+
+Every bench regenerates one table or figure of the paper: it runs the
+corresponding experiment module on (scaled) generated benchmarks, prints the
+same rows/series the paper reports, saves them under ``benchmarks/results/``
+and times the core computation with pytest-benchmark.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+The benches use fast experiment configurations (a representative subset of
+datasets, 1-2 repetitions) so the whole harness completes in a few minutes;
+pass ``--full-benchmarks`` to use all 9 datasets and more repetitions.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.experiments import ExperimentConfig  # noqa: E402
+from repro.experiments.common import prepare_benchmark_dataset  # noqa: E402
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--full-benchmarks",
+        action="store_true",
+        default=False,
+        help="run the benches on all 9 datasets with paper-scale repetitions",
+    )
+
+
+@pytest.fixture(scope="session")
+def full_mode(request) -> bool:
+    """Whether the benches should use the full (slow) configuration."""
+    return bool(request.config.getoption("--full-benchmarks"))
+
+
+@pytest.fixture(scope="session")
+def bench_config(full_mode) -> ExperimentConfig:
+    """The experiment configuration shared by the benches."""
+    if full_mode:
+        return ExperimentConfig(repetitions=3, training_size=500, seed=0)
+    return ExperimentConfig.fast(
+        dataset_names=("AbtBuy", "DblpAcm", "AmazonGP", "ImdbTmdb"),
+        repetitions=1,
+        training_size=500,
+    )
+
+
+@pytest.fixture(scope="session")
+def small_config() -> ExperimentConfig:
+    """An even smaller configuration for the expensive sweeps."""
+    return ExperimentConfig.fast(dataset_names=("AbtBuy", "DblpAcm"), repetitions=1)
+
+
+@pytest.fixture(scope="session")
+def largest_datasets(full_mode):
+    """The dataset names standing in for Movies / WalmartAmazon in run-time benches."""
+    if full_mode:
+        return ("Movies", "WalmartAmazon")
+    return ("Movies", "WalmartAmazon")
+
+
+@pytest.fixture(scope="session")
+def report_sink():
+    """Write a named report both to stdout and to benchmarks/results/<name>.txt."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _write(name: str, text: str) -> None:
+        print()
+        print(text)
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+
+    return _write
+
+
+@pytest.fixture(scope="session")
+def abtbuy_prepared(bench_config):
+    """AbtBuy prepared once for the single-dataset benches."""
+    return prepare_benchmark_dataset("AbtBuy", seed=bench_config.seed)

@@ -1,0 +1,75 @@
+"""Candidate-pair extraction and the standard block-preparation pipeline.
+
+The distinct candidate pairs of a block collection are obtained by
+aggregating, for every entity, the set of entities it shares at least one
+block with (redundancy removal).  :func:`prepare_blocks` chains the paper's
+exact pre-processing: Token Blocking -> Block Purging -> Block Filtering ->
+candidate extraction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..datamodel import BlockCollection, CandidateSet, EntityCollection
+from .base import BlockingMethod
+from .filtering import filter_blocks
+from .purging import purge_oversized_blocks
+from .token_blocking import TokenBlocking
+
+
+def extract_candidates(blocks: BlockCollection) -> CandidateSet:
+    """Return the distinct candidate pairs (comparisons) of ``blocks``."""
+    return CandidateSet.from_blocks(blocks)
+
+
+@dataclass
+class PreparedBlocks:
+    """Output of the standard block-preparation pipeline."""
+
+    #: the raw blocks produced by the blocking method
+    raw_blocks: BlockCollection
+    #: blocks surviving Block Purging
+    purged_blocks: BlockCollection
+    #: blocks surviving Block Filtering — the collection Meta-blocking refines
+    blocks: BlockCollection
+    #: the distinct candidate pairs of ``blocks``
+    candidates: CandidateSet
+
+
+def prepare_blocks(
+    first: EntityCollection,
+    second: Optional[EntityCollection] = None,
+    blocking: Optional[BlockingMethod] = None,
+    purging_fraction: float = 0.5,
+    filtering_ratio: float = 0.8,
+    apply_purging: bool = True,
+    apply_filtering: bool = True,
+) -> PreparedBlocks:
+    """Run the paper's block-preparation pipeline.
+
+    Parameters
+    ----------
+    first, second:
+        The input entity collection(s); ``second`` is ``None`` for Dirty ER.
+    blocking:
+        The blocking method (default :class:`TokenBlocking`, as in the paper).
+    purging_fraction:
+        Block Purging size threshold as a fraction of all entities.
+    filtering_ratio:
+        Block Filtering retention ratio (0.8 = drop each entity's largest 20 %).
+    apply_purging, apply_filtering:
+        Toggle the cleaning steps (the scalability experiments skip filtering).
+    """
+    method = blocking if blocking is not None else TokenBlocking()
+    raw = method.build_blocks(first, second).without_empty_blocks()
+    purged = purge_oversized_blocks(raw, purging_fraction) if apply_purging else raw
+    filtered = filter_blocks(purged, filtering_ratio) if apply_filtering else purged
+    candidates = extract_candidates(filtered)
+    return PreparedBlocks(
+        raw_blocks=raw,
+        purged_blocks=purged,
+        blocks=filtered,
+        candidates=candidates,
+    )

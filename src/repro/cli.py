@@ -1,0 +1,211 @@
+"""Command-line interface for the reproduction.
+
+Usage::
+
+    python -m repro list                       # list the available experiments
+    python -m repro run table2                 # regenerate one table/figure
+    python -m repro run fig5 --datasets AbtBuy DblpAcm --repetitions 2
+    python -m repro quickstart                 # run the quickstart pipeline
+
+Every ``run`` command prints the same rows/series the paper reports for that
+experiment (the benches in ``benchmarks/`` are the pytest-integrated variant
+of the same calls).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional, Sequence
+
+from . import experiments as ex
+from .datasets import CLEAN_CLEAN_ORDER
+
+
+def _config_from_args(args: argparse.Namespace) -> ex.ExperimentConfig:
+    return ex.ExperimentConfig(
+        dataset_names=tuple(args.datasets),
+        repetitions=args.repetitions,
+        training_size=args.training_size,
+        seed=args.seed,
+    )
+
+
+def _run_table2(args: argparse.Namespace) -> str:
+    rows = ex.run_block_quality(tuple(args.datasets), seed=args.seed)
+    return ex.format_block_quality(rows)
+
+
+def _run_fig5(args: argparse.Namespace) -> str:
+    return ex.format_pruning_selection(
+        ex.run_figure5(_config_from_args(args)), "Figure 5 — weight-based pruning algorithms"
+    )
+
+
+def _run_fig6(args: argparse.Namespace) -> str:
+    return ex.format_pruning_selection(
+        ex.run_figure6(_config_from_args(args)), "Figure 6 — cardinality-based pruning algorithms"
+    )
+
+
+def _run_tables34(args: argparse.Namespace) -> str:
+    parts = []
+    for algorithm in ("BLAST", "RCNP"):
+        result = ex.run_feature_selection(
+            algorithm, _config_from_args(args), max_set_size=args.max_set_size
+        )
+        parts.append(ex.format_feature_selection(result))
+    return "\n\n".join(parts)
+
+
+def _run_fig8(args: argparse.Namespace) -> str:
+    return ex.format_figure8(ex.run_figure8(_config_from_args(args)))
+
+
+def _run_fig10(args: argparse.Namespace) -> str:
+    return ex.format_figure10(
+        ex.run_figure10(_config_from_args(args), dataset_names=tuple(args.datasets[:2]))
+    )
+
+
+def _run_training_size(args: argparse.Namespace) -> str:
+    parts = []
+    for algorithm, figure in (("BLAST", "11"), ("RCNP", "14")):
+        points = ex.run_training_size_sweep(
+            algorithm, _config_from_args(args), sizes=ex.FAST_TRAINING_SIZES
+        )
+        parts.append(
+            ex.format_training_size(points, f"Figure {figure} — training-set size for {algorithm}")
+        )
+    return "\n\n".join(parts)
+
+
+def _run_fig12(args: argparse.Namespace) -> str:
+    snapshots = ex.run_probability_density(
+        args.datasets[0], training_sizes=(50, 200, 500), config=_config_from_args(args)
+    )
+    return ex.format_probability_density(snapshots)
+
+
+def _run_table5(args: argparse.Namespace) -> str:
+    return ex.format_final_comparison(ex.run_table5(_config_from_args(args)))
+
+
+def _run_table7(args: argparse.Namespace) -> str:
+    return ex.format_final_comparison(ex.run_table7(_config_from_args(args)))
+
+
+def _run_fig1516(args: argparse.Namespace) -> str:
+    distributions = ex.run_common_block_distribution(
+        tuple(args.datasets), _config_from_args(args)
+    )
+    return ex.format_common_blocks(
+        distributions, "Figures 15/16 — duplicates per number of common blocks"
+    )
+
+
+def _run_scalability(args: argparse.Namespace) -> str:
+    config = ex.ExperimentConfig(repetitions=args.repetitions, seed=args.seed)
+    result = ex.run_scalability(config, dataset_names=("D10K", "D50K", "D100K"), scale=0.02)
+    table6 = ex.run_table6("D100K", iterations=3, config=config, scale=0.01)
+    return "\n\n".join(
+        [ex.format_scalability(result), ex.format_speedups(result), ex.format_table6(table6)]
+    )
+
+
+#: Experiment ids accepted by ``python -m repro run <id>``.
+EXPERIMENTS: Dict[str, Callable[[argparse.Namespace], str]] = {
+    "table2": _run_table2,
+    "fig5": _run_fig5,
+    "fig6": _run_fig6,
+    "tables3-4": _run_tables34,
+    "fig8": _run_fig8,
+    "fig10": _run_fig10,
+    "fig11-14": _run_training_size,
+    "fig12": _run_fig12,
+    "table5": _run_table5,
+    "table7": _run_table7,
+    "fig15-16": _run_fig1516,
+    "fig17-18": _run_scalability,
+}
+
+
+def _run_quickstart(args: argparse.Namespace) -> str:
+    from . import (
+        GeneralizedSupervisedMetaBlocking,
+        evaluate_candidates,
+        evaluate_result,
+        load_benchmark,
+        prepare_blocks,
+    )
+
+    dataset = load_benchmark(args.datasets[0], seed=args.seed)
+    prepared = prepare_blocks(dataset.first, dataset.second)
+    before = evaluate_candidates(prepared.candidates, dataset.ground_truth)
+    pipeline = GeneralizedSupervisedMetaBlocking(
+        pruning="BLAST", training_size=args.training_size, seed=args.seed
+    )
+    result = pipeline.run(prepared.blocks, prepared.candidates, dataset.ground_truth)
+    after = evaluate_result(result, dataset.ground_truth)
+    return (
+        f"{dataset.name}: {len(prepared.candidates)} candidate pairs\n"
+        f"  before meta-blocking: recall={before.recall:.3f} precision={before.precision:.5f}\n"
+        f"  after  meta-blocking: recall={after.recall:.3f} precision={after.precision:.3f} "
+        f"f1={after.f1:.3f} ({result.retained_count} pairs retained)"
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Generalized Supervised Meta-blocking — reproduction CLI",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("list", help="list the available experiment ids")
+
+    def add_common(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--datasets",
+            nargs="+",
+            default=list(ex.FAST_DATASET_SUBSET),
+            choices=CLEAN_CLEAN_ORDER,
+            help="Clean-Clean benchmark profiles to use",
+        )
+        sub.add_argument("--repetitions", type=int, default=1)
+        sub.add_argument("--training-size", type=int, default=500, dest="training_size")
+        sub.add_argument("--seed", type=int, default=0)
+        sub.add_argument("--max-set-size", type=int, default=3, dest="max_set_size")
+
+    run_parser = subparsers.add_parser("run", help="regenerate one table/figure")
+    run_parser.add_argument("experiment", choices=sorted(EXPERIMENTS))
+    add_common(run_parser)
+
+    quickstart_parser = subparsers.add_parser("quickstart", help="run the quickstart pipeline")
+    add_common(quickstart_parser)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.command == "list":
+        print("Available experiments:")
+        for name in sorted(EXPERIMENTS):
+            print(f"  {name}")
+        return 0
+    if args.command == "quickstart":
+        print(_run_quickstart(args))
+        return 0
+    if args.command == "run":
+        print(EXPERIMENTS[args.experiment](args))
+        return 0
+    parser.error(f"unknown command {args.command!r}")  # pragma: no cover
+    return 2  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

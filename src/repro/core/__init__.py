@@ -1,0 +1,66 @@
+"""Generalized Supervised Meta-blocking: features, training, pruning, pipeline."""
+
+from .active_learning import ActiveSample, BlossSampler
+from .feature_selection import (
+    FeatureSelectionStudy,
+    FeatureSetCandidate,
+    FeatureSetScore,
+    PreparedDataset,
+    enumerate_feature_sets,
+    evaluate_feature_set,
+)
+from .features import FeatureMatrix, FeatureVectorGenerator, generate_features
+from .pipeline import GeneralizedSupervisedMetaBlocking, MetaBlockingResult
+from .pruning import (
+    BinaryClassifierPruning,
+    CARDINALITY_BASED_ALGORITHMS,
+    PRUNING_ALGORITHMS,
+    SupervisedBLAST,
+    SupervisedCEP,
+    SupervisedCNP,
+    SupervisedPruningAlgorithm,
+    SupervisedRCNP,
+    SupervisedRWNP,
+    SupervisedWEP,
+    SupervisedWNP,
+    VALIDITY_THRESHOLD,
+    WEIGHT_BASED_ALGORITHMS,
+    cep_budget,
+    cnp_budget,
+    get_pruning_algorithm,
+)
+from .training import TrainingSet, build_training_set
+
+__all__ = [
+    "ActiveSample",
+    "BinaryClassifierPruning",
+    "BlossSampler",
+    "CARDINALITY_BASED_ALGORITHMS",
+    "FeatureMatrix",
+    "FeatureSelectionStudy",
+    "FeatureSetCandidate",
+    "FeatureSetScore",
+    "FeatureVectorGenerator",
+    "GeneralizedSupervisedMetaBlocking",
+    "MetaBlockingResult",
+    "PRUNING_ALGORITHMS",
+    "PreparedDataset",
+    "SupervisedBLAST",
+    "SupervisedCEP",
+    "SupervisedCNP",
+    "SupervisedPruningAlgorithm",
+    "SupervisedRCNP",
+    "SupervisedRWNP",
+    "SupervisedWEP",
+    "SupervisedWNP",
+    "TrainingSet",
+    "VALIDITY_THRESHOLD",
+    "WEIGHT_BASED_ALGORITHMS",
+    "build_training_set",
+    "cep_budget",
+    "cnp_budget",
+    "enumerate_feature_sets",
+    "evaluate_feature_set",
+    "generate_features",
+    "get_pruning_algorithm",
+]

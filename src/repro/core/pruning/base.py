@@ -1,0 +1,75 @@
+"""Base class for supervised pruning algorithms.
+
+A supervised pruning algorithm receives the classification probability of
+every candidate pair (produced by the trained probabilistic classifier) and
+decides which pairs to retain.  Pairs with probability below
+:data:`VALIDITY_THRESHOLD` (0.5) are never retained — they are not *valid*
+in the paper's terminology — and the remaining pairs are filtered with either
+a weight-based or a cardinality-based criterion.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Optional
+
+import numpy as np
+
+from ...datamodel import BlockCollection, CandidateSet
+
+#: Candidate pairs with a classification probability below this value are
+#: discarded before any pruning criterion is applied (paper Definition 2).
+VALIDITY_THRESHOLD: float = 0.5
+
+
+class SupervisedPruningAlgorithm(ABC):
+    """Decide which candidate pairs to retain given their match probabilities."""
+
+    #: short name used in reports ("WEP", "BLAST", ...)
+    name: str = "pruning"
+    #: "weight", "cardinality" or "baseline"
+    kind: str = "weight"
+
+    @abstractmethod
+    def prune(
+        self,
+        probabilities: np.ndarray,
+        candidates: CandidateSet,
+        blocks: Optional[BlockCollection] = None,
+    ) -> np.ndarray:
+        """Return a boolean mask over the candidate pairs (True = retained).
+
+        Parameters
+        ----------
+        probabilities:
+            Positive-class probability of every candidate pair, aligned with
+            ``candidates``.
+        candidates:
+            The candidate pairs being pruned.
+        blocks:
+            The originating block collection; required by cardinality-based
+            algorithms to derive their retention budgets (K and k).
+        """
+
+    # -- shared helpers -------------------------------------------------------------
+    @staticmethod
+    def _validate(probabilities: np.ndarray, candidates: CandidateSet) -> np.ndarray:
+        """Validate and return the probabilities as a float array."""
+        array = np.asarray(probabilities, dtype=np.float64)
+        if array.ndim != 1:
+            raise ValueError("probabilities must be a 1-D array")
+        if array.size != len(candidates):
+            raise ValueError(
+                f"expected {len(candidates)} probabilities, got {array.size}"
+            )
+        if array.size and (array.min() < 0.0 or array.max() > 1.0):
+            raise ValueError("probabilities must lie in [0, 1]")
+        return array
+
+    @staticmethod
+    def valid_mask(probabilities: np.ndarray) -> np.ndarray:
+        """Mask of *valid* pairs (probability at least 0.5)."""
+        return np.asarray(probabilities, dtype=np.float64) >= VALIDITY_THRESHOLD
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}()"

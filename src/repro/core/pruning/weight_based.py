@@ -1,0 +1,166 @@
+"""Weight-based supervised pruning algorithms (paper Section 3.1).
+
+All four algorithms first discard pairs with probability below 0.5 (the
+*valid* pair threshold) and then apply a weight threshold:
+
+* :class:`SupervisedWEP` — global average of the valid probabilities;
+* :class:`SupervisedWNP` — per-entity average, a pair survives if it reaches
+  the average of *either* constituent entity;
+* :class:`SupervisedRWNP` — reciprocal variant, the pair must reach the
+  average of *both* entities;
+* :class:`SupervisedBLAST` — per-entity *maximum*, the pair must exceed the
+  fraction ``r`` of the sum of the two maxima.
+
+The baseline :class:`BinaryClassifierPruning` (BCl) reproduces Supervised
+Meta-blocking [21]: it simply keeps every pair the classifier labels
+positive, i.e. the validity threshold alone.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ...datamodel import BlockCollection, CandidateSet
+from ...utils.validation import check_ratio
+from .base import SupervisedPruningAlgorithm, VALIDITY_THRESHOLD
+
+
+class BinaryClassifierPruning(SupervisedPruningAlgorithm):
+    """BCl — the Supervised Meta-blocking baseline of [21].
+
+    Retains every candidate pair whose classification probability is at least
+    0.5; equivalent to using the classifier as a single global threshold and
+    the approximation of WEP the original paper relied on.
+    """
+
+    name = "BCl"
+    kind = "baseline"
+
+    def prune(
+        self,
+        probabilities: np.ndarray,
+        candidates: CandidateSet,
+        blocks: Optional[BlockCollection] = None,
+    ) -> np.ndarray:
+        probabilities = self._validate(probabilities, candidates)
+        return self.valid_mask(probabilities)
+
+
+class SupervisedWEP(SupervisedPruningAlgorithm):
+    """Weighted Edge Pruning — global average-probability threshold (Algorithm 1)."""
+
+    name = "WEP"
+    kind = "weight"
+
+    def prune(
+        self,
+        probabilities: np.ndarray,
+        candidates: CandidateSet,
+        blocks: Optional[BlockCollection] = None,
+    ) -> np.ndarray:
+        probabilities = self._validate(probabilities, candidates)
+        valid = self.valid_mask(probabilities)
+        if not np.any(valid):
+            return np.zeros(len(candidates), dtype=bool)
+        average = float(probabilities[valid].mean())
+        return probabilities >= average
+
+
+class SupervisedWNP(SupervisedPruningAlgorithm):
+    """Weighted Node Pruning — per-entity average thresholds (Algorithm 2).
+
+    A valid pair is retained when its probability reaches the average valid
+    probability of at least one of its constituent entities.
+    """
+
+    name = "WNP"
+    kind = "weight"
+
+    def _node_averages(
+        self, probabilities: np.ndarray, candidates: CandidateSet
+    ) -> np.ndarray:
+        """Average valid probability per node (infinite when a node has none)."""
+        total_nodes = candidates.index_space.total
+        sums = np.zeros(total_nodes, dtype=np.float64)
+        counts = np.zeros(total_nodes, dtype=np.int64)
+        valid = self.valid_mask(probabilities)
+        left_valid = candidates.left[valid]
+        right_valid = candidates.right[valid]
+        valid_probabilities = probabilities[valid]
+        np.add.at(sums, left_valid, valid_probabilities)
+        np.add.at(counts, left_valid, 1)
+        np.add.at(sums, right_valid, valid_probabilities)
+        np.add.at(counts, right_valid, 1)
+        averages = np.full(total_nodes, np.inf, dtype=np.float64)
+        populated = counts > 0
+        averages[populated] = sums[populated] / counts[populated]
+        return averages
+
+    def prune(
+        self,
+        probabilities: np.ndarray,
+        candidates: CandidateSet,
+        blocks: Optional[BlockCollection] = None,
+    ) -> np.ndarray:
+        probabilities = self._validate(probabilities, candidates)
+        averages = self._node_averages(probabilities, candidates)
+        valid = self.valid_mask(probabilities)
+        reaches_left = probabilities >= averages[candidates.left]
+        reaches_right = probabilities >= averages[candidates.right]
+        return valid & (reaches_left | reaches_right)
+
+
+class SupervisedRWNP(SupervisedWNP):
+    """Reciprocal Weighted Node Pruning — both per-entity averages must be reached."""
+
+    name = "RWNP"
+    kind = "weight"
+
+    def prune(
+        self,
+        probabilities: np.ndarray,
+        candidates: CandidateSet,
+        blocks: Optional[BlockCollection] = None,
+    ) -> np.ndarray:
+        probabilities = self._validate(probabilities, candidates)
+        averages = self._node_averages(probabilities, candidates)
+        valid = self.valid_mask(probabilities)
+        reaches_left = probabilities >= averages[candidates.left]
+        reaches_right = probabilities >= averages[candidates.right]
+        return valid & reaches_left & reaches_right
+
+
+class SupervisedBLAST(SupervisedPruningAlgorithm):
+    """BLAST — per-entity maximum-probability thresholds (Algorithm 3).
+
+    A valid pair ``(i, j)`` survives when its probability is at least
+    ``r * (max_i + max_j)``, where ``max_i`` is the highest valid probability
+    among the pairs of entity ``i``.  The paper fixes ``r = 0.35`` based on
+    preliminary experiments.
+    """
+
+    name = "BLAST"
+    kind = "weight"
+
+    def __init__(self, ratio: float = 0.35) -> None:
+        self.ratio = check_ratio(ratio, "ratio")
+
+    def prune(
+        self,
+        probabilities: np.ndarray,
+        candidates: CandidateSet,
+        blocks: Optional[BlockCollection] = None,
+    ) -> np.ndarray:
+        probabilities = self._validate(probabilities, candidates)
+        valid = self.valid_mask(probabilities)
+        total_nodes = candidates.index_space.total
+        maxima = np.zeros(total_nodes, dtype=np.float64)
+        np.maximum.at(maxima, candidates.left[valid], probabilities[valid])
+        np.maximum.at(maxima, candidates.right[valid], probabilities[valid])
+        thresholds = self.ratio * (maxima[candidates.left] + maxima[candidates.right])
+        return valid & (probabilities >= thresholds)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SupervisedBLAST(ratio={self.ratio})"

@@ -1,0 +1,27 @@
+"""Entity Resolution data model: entities, blocks, candidate pairs, ground truth."""
+
+from .block import Block, BlockCollection, build_bilateral_blocks, build_unilateral_blocks
+from .candidates import CandidatePair, CandidateSet
+from .entity import (
+    EntityCollection,
+    EntityIndexSpace,
+    EntityProfile,
+    collection_from_dicts,
+    make_profile,
+)
+from .ground_truth import GroundTruth
+
+__all__ = [
+    "Block",
+    "BlockCollection",
+    "CandidatePair",
+    "CandidateSet",
+    "EntityCollection",
+    "EntityIndexSpace",
+    "EntityProfile",
+    "GroundTruth",
+    "build_bilateral_blocks",
+    "build_unilateral_blocks",
+    "collection_from_dicts",
+    "make_profile",
+]

@@ -1,0 +1,28 @@
+"""Evaluation: effectiveness metrics, multi-run execution, report formatting."""
+
+from .metrics import (
+    EffectivenessReport,
+    average_reports,
+    evaluate_blocks,
+    evaluate_candidates,
+    evaluate_result,
+    evaluate_retained_mask,
+)
+from .reporting import format_measure_series, format_table, format_value, paper_vs_measured
+from .runner import ExperimentRunner, RunOutcome, average_over_datasets
+
+__all__ = [
+    "EffectivenessReport",
+    "ExperimentRunner",
+    "RunOutcome",
+    "average_over_datasets",
+    "average_reports",
+    "evaluate_blocks",
+    "evaluate_candidates",
+    "evaluate_result",
+    "evaluate_retained_mask",
+    "format_measure_series",
+    "format_table",
+    "format_value",
+    "paper_vs_measured",
+]

@@ -1,0 +1,26 @@
+"""Unsupervised Meta-blocking baselines: blocking graph and classic pruning."""
+
+from .graph import BlockingGraph, build_blocking_graph
+from .unsupervised import (
+    UnsupervisedBLAST,
+    UnsupervisedCEP,
+    UnsupervisedCNP,
+    UnsupervisedPruningAlgorithm,
+    UnsupervisedRCNP,
+    UnsupervisedRWNP,
+    UnsupervisedWEP,
+    UnsupervisedWNP,
+)
+
+__all__ = [
+    "BlockingGraph",
+    "UnsupervisedBLAST",
+    "UnsupervisedCEP",
+    "UnsupervisedCNP",
+    "UnsupervisedPruningAlgorithm",
+    "UnsupervisedRCNP",
+    "UnsupervisedRWNP",
+    "UnsupervisedWEP",
+    "UnsupervisedWNP",
+    "build_blocking_graph",
+]

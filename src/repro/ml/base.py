@@ -1,0 +1,53 @@
+"""Base interfaces for the machine-learning substrate.
+
+The paper only requires a *binary probabilistic classifier*: something that
+can be fit on labelled feature vectors and then return, for every candidate
+pair, the probability of belonging to the positive (matching) class.  Every
+classifier in :mod:`repro.ml` implements :class:`ProbabilisticClassifier`,
+the minimal scikit-learn-like contract the pruning algorithms consume.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Optional
+
+import numpy as np
+
+from ..utils.validation import check_binary_labels, check_consistent_length, check_matrix
+
+
+class ProbabilisticClassifier(ABC):
+    """A binary classifier exposing calibrated positive-class probabilities."""
+
+    @abstractmethod
+    def fit(self, features: np.ndarray, labels: np.ndarray) -> "ProbabilisticClassifier":
+        """Fit the model on an ``(n, d)`` feature matrix and 0/1 labels."""
+
+    @abstractmethod
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        """Return the positive-class probability for every row of ``features``."""
+
+    def predict(self, features: np.ndarray, threshold: float = 0.5) -> np.ndarray:
+        """Return hard 0/1 predictions by thresholding the probabilities."""
+        return (self.predict_proba(features) >= threshold).astype(np.int64)
+
+    # -- shared validation -------------------------------------------------------
+    @staticmethod
+    def _validate_training_data(
+        features: np.ndarray, labels: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        matrix = check_matrix(features)
+        targets = check_binary_labels(labels)
+        check_consistent_length(matrix, targets)
+        if matrix.shape[0] == 0:
+            raise ValueError("cannot fit on an empty training set")
+        if np.unique(targets).size < 2:
+            raise ValueError("training set must contain both classes")
+        return matrix, targets
+
+    def _check_is_fitted(self, attribute: str) -> None:
+        if getattr(self, attribute, None) is None:
+            raise RuntimeError(
+                f"{type(self).__name__} must be fit before calling predict/predict_proba"
+            )

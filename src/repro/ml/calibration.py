@@ -1,0 +1,78 @@
+"""Platt scaling — mapping raw classifier scores to probabilities.
+
+The paper's SVC is used with ``probability=True``, i.e. with Platt-calibrated
+outputs.  :class:`PlattScaler` fits a one-dimensional logistic regression
+``P(match | score) = sigmoid(a·score + b)`` on the training scores, using the
+target smoothing of Platt (1999) to avoid overfitting tiny training sets.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+
+class PlattScaler:
+    """Fit ``sigmoid(a·score + b)`` to binary targets by Newton iterations."""
+
+    def __init__(self, max_iter: int = 200, tol: float = 1e-10) -> None:
+        if max_iter < 1:
+            raise ValueError("max_iter must be at least 1")
+        self.max_iter = max_iter
+        self.tol = tol
+        self.a_: Optional[float] = None
+        self.b_: Optional[float] = None
+
+    def fit(self, scores: np.ndarray, labels: np.ndarray) -> "PlattScaler":
+        """Fit the calibration map on raw ``scores`` and 0/1 ``labels``."""
+        scores = np.asarray(scores, dtype=np.float64).ravel()
+        labels = np.asarray(labels, dtype=np.float64).ravel()
+        if scores.shape != labels.shape:
+            raise ValueError("scores and labels must have the same length")
+        if scores.size == 0:
+            raise ValueError("cannot calibrate on an empty sample")
+
+        n_positive = float(np.sum(labels == 1.0))
+        n_negative = float(np.sum(labels == 0.0))
+        # Platt's smoothed targets guard against infinite weights when the
+        # classes are separable (common with 25+25 training pairs).
+        target_positive = (n_positive + 1.0) / (n_positive + 2.0)
+        target_negative = 1.0 / (n_negative + 2.0)
+        targets = np.where(labels == 1.0, target_positive, target_negative)
+
+        a, b = 0.0, np.log((n_negative + 1.0) / (n_positive + 1.0))
+        for _ in range(self.max_iter):
+            raw = a * scores + b
+            probabilities = 1.0 / (1.0 + np.exp(-np.clip(raw, -500, 500)))
+            gradient_a = np.sum((probabilities - targets) * scores)
+            gradient_b = np.sum(probabilities - targets)
+            weight = np.clip(probabilities * (1.0 - probabilities), 1e-12, None)
+            h_aa = np.sum(weight * scores * scores) + 1e-12
+            h_ab = np.sum(weight * scores)
+            h_bb = np.sum(weight) + 1e-12
+            determinant = h_aa * h_bb - h_ab * h_ab
+            if abs(determinant) < 1e-18:
+                break
+            delta_a = (h_bb * gradient_a - h_ab * gradient_b) / determinant
+            delta_b = (h_aa * gradient_b - h_ab * gradient_a) / determinant
+            a -= delta_a
+            b -= delta_b
+            if max(abs(delta_a), abs(delta_b)) < self.tol:
+                break
+
+        self.a_ = float(a)
+        self.b_ = float(b)
+        return self
+
+    def transform(self, scores: np.ndarray) -> np.ndarray:
+        """Map raw scores to calibrated probabilities."""
+        if self.a_ is None or self.b_ is None:
+            raise RuntimeError("PlattScaler must be fit before transform")
+        scores = np.asarray(scores, dtype=np.float64).ravel()
+        raw = self.a_ * scores + self.b_
+        return 1.0 / (1.0 + np.exp(-np.clip(raw, -500, 500)))
+
+    def fit_transform(self, scores: np.ndarray, labels: np.ndarray) -> np.ndarray:
+        """Fit the map and return the calibrated training probabilities."""
+        return self.fit(scores, labels).transform(scores)

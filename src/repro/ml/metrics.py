@@ -1,0 +1,118 @@
+"""Classification metrics on labelled pairs.
+
+These operate on plain prediction/label arrays and back the evaluation module
+(which additionally accounts for duplicates missed by blocking).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ConfusionCounts:
+    """True/false positive/negative counts of a binary decision."""
+
+    true_positives: int
+    false_positives: int
+    true_negatives: int
+    false_negatives: int
+
+    @property
+    def total(self) -> int:
+        """Total number of decisions."""
+        return (
+            self.true_positives
+            + self.false_positives
+            + self.true_negatives
+            + self.false_negatives
+        )
+
+    def as_dict(self) -> Dict[str, int]:
+        """Return the counts as a plain dictionary."""
+        return {
+            "TP": self.true_positives,
+            "FP": self.false_positives,
+            "TN": self.true_negatives,
+            "FN": self.false_negatives,
+        }
+
+
+def confusion_counts(labels: np.ndarray, predictions: np.ndarray) -> ConfusionCounts:
+    """Compute confusion counts from boolean/0-1 arrays."""
+    labels = np.asarray(labels).astype(bool)
+    predictions = np.asarray(predictions).astype(bool)
+    if labels.shape != predictions.shape:
+        raise ValueError("labels and predictions must have the same shape")
+    return ConfusionCounts(
+        true_positives=int(np.sum(labels & predictions)),
+        false_positives=int(np.sum(~labels & predictions)),
+        true_negatives=int(np.sum(~labels & ~predictions)),
+        false_negatives=int(np.sum(labels & ~predictions)),
+    )
+
+
+def precision_score(labels: np.ndarray, predictions: np.ndarray) -> float:
+    """Fraction of predicted positives that are true positives."""
+    counts = confusion_counts(labels, predictions)
+    denominator = counts.true_positives + counts.false_positives
+    return counts.true_positives / denominator if denominator else 0.0
+
+
+def recall_score(labels: np.ndarray, predictions: np.ndarray) -> float:
+    """Fraction of actual positives that are predicted positive."""
+    counts = confusion_counts(labels, predictions)
+    denominator = counts.true_positives + counts.false_negatives
+    return counts.true_positives / denominator if denominator else 0.0
+
+
+def f1_score(labels: np.ndarray, predictions: np.ndarray) -> float:
+    """Harmonic mean of precision and recall."""
+    precision = precision_score(labels, predictions)
+    recall = recall_score(labels, predictions)
+    if precision + recall == 0.0:
+        return 0.0
+    return 2.0 * precision * recall / (precision + recall)
+
+
+def accuracy_score(labels: np.ndarray, predictions: np.ndarray) -> float:
+    """Fraction of correct decisions."""
+    counts = confusion_counts(labels, predictions)
+    return (
+        (counts.true_positives + counts.true_negatives) / counts.total
+        if counts.total
+        else 0.0
+    )
+
+
+def roc_auc_score(labels: np.ndarray, scores: np.ndarray) -> float:
+    """Area under the ROC curve via the Mann-Whitney U statistic.
+
+    Used in tests to verify that the from-scratch classifiers actually rank
+    matching pairs above non-matching ones.
+    """
+    labels = np.asarray(labels).astype(bool)
+    scores = np.asarray(scores, dtype=np.float64)
+    if labels.shape != scores.shape:
+        raise ValueError("labels and scores must have the same shape")
+    n_positive = int(labels.sum())
+    n_negative = int((~labels).sum())
+    if n_positive == 0 or n_negative == 0:
+        raise ValueError("ROC AUC requires both classes to be present")
+    order = np.argsort(scores, kind="mergesort")
+    ranks = np.empty_like(order, dtype=np.float64)
+    ranks[order] = np.arange(1, len(scores) + 1)
+    # average ranks for ties
+    sorted_scores = scores[order]
+    start = 0
+    for end in range(1, len(sorted_scores) + 1):
+        if end == len(sorted_scores) or sorted_scores[end] != sorted_scores[start]:
+            average = (start + end + 1) / 2.0
+            ranks[order[start:end]] = average
+            start = end
+    positive_rank_sum = ranks[labels].sum()
+    u_statistic = positive_rank_sum - n_positive * (n_positive + 1) / 2.0
+    return float(u_statistic / (n_positive * n_negative))

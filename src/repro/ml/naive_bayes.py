@@ -1,0 +1,79 @@
+"""Gaussian Naive Bayes.
+
+A third probabilistic classifier, used by the classifier-robustness ablation:
+the paper argues the approach is insensitive to the choice of classification
+algorithm, so the benches compare logistic regression, the linear SVM and
+this model.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .base import ProbabilisticClassifier
+
+
+class GaussianNB(ProbabilisticClassifier):
+    """Gaussian Naive Bayes with per-class feature means and variances.
+
+    Parameters
+    ----------
+    var_smoothing:
+        Fraction of the largest feature variance added to every variance for
+        numerical stability (same role as scikit-learn's parameter).
+    """
+
+    def __init__(self, var_smoothing: float = 1e-9) -> None:
+        if var_smoothing < 0:
+            raise ValueError("var_smoothing must be non-negative")
+        self.var_smoothing = var_smoothing
+        self.class_prior_: Optional[np.ndarray] = None
+        self.theta_: Optional[np.ndarray] = None  # (2, d) per-class means
+        self.var_: Optional[np.ndarray] = None  # (2, d) per-class variances
+
+    def fit(self, features: np.ndarray, labels: np.ndarray) -> "GaussianNB":
+        matrix, targets = self._validate_training_data(features, labels)
+        n_features = matrix.shape[1]
+
+        self.theta_ = np.zeros((2, n_features))
+        self.var_ = np.zeros((2, n_features))
+        self.class_prior_ = np.zeros(2)
+        epsilon = self.var_smoothing * float(np.var(matrix, axis=0).max() or 1.0)
+
+        for label in (0, 1):
+            members = matrix[targets == label]
+            self.class_prior_[label] = members.shape[0] / matrix.shape[0]
+            self.theta_[label] = members.mean(axis=0)
+            self.var_[label] = members.var(axis=0) + epsilon
+        self.var_[self.var_ == 0.0] = epsilon if epsilon > 0 else 1e-12
+        return self
+
+    def _joint_log_likelihood(self, features: np.ndarray) -> np.ndarray:
+        self._check_is_fitted("theta_")
+        matrix = np.asarray(features, dtype=np.float64)
+        if matrix.ndim != 2 or matrix.shape[1] != self.theta_.shape[1]:
+            raise ValueError(
+                f"expected a 2-D matrix with {self.theta_.shape[1]} features, "
+                f"got shape {matrix.shape}"
+            )
+        joint = np.zeros((matrix.shape[0], 2))
+        for label in (0, 1):
+            prior = np.log(self.class_prior_[label]) if self.class_prior_[label] > 0 else -np.inf
+            log_likelihood = -0.5 * np.sum(
+                np.log(2.0 * np.pi * self.var_[label])
+                + ((matrix - self.theta_[label]) ** 2) / self.var_[label],
+                axis=1,
+            )
+            joint[:, label] = prior + log_likelihood
+        return joint
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        """Return the posterior probability of the positive class."""
+        joint = self._joint_log_likelihood(features)
+        # normalise in log space for stability
+        maximum = joint.max(axis=1, keepdims=True)
+        exponentials = np.exp(joint - maximum)
+        posterior = exponentials / exponentials.sum(axis=1, keepdims=True)
+        return posterior[:, 1]

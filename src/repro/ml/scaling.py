@@ -1,0 +1,83 @@
+"""Feature scaling.
+
+The weighting schemes have very different ranges (JS in [0, 1], CF-IBF
+unbounded, LCP in the hundreds), so classifiers converge much better on
+standardised features.  Both scalers follow the fit/transform contract and
+are no-ops on degenerate (constant) columns.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..utils.validation import check_matrix
+
+
+class StandardScaler:
+    """Standardise features to zero mean and unit variance."""
+
+    def __init__(self) -> None:
+        self.mean_: Optional[np.ndarray] = None
+        self.scale_: Optional[np.ndarray] = None
+
+    def fit(self, features: np.ndarray) -> "StandardScaler":
+        """Learn per-column mean and standard deviation."""
+        matrix = check_matrix(features)
+        if matrix.shape[0] == 0:
+            raise ValueError("cannot fit a scaler on an empty matrix")
+        self.mean_ = matrix.mean(axis=0)
+        scale = matrix.std(axis=0)
+        scale[scale == 0.0] = 1.0
+        self.scale_ = scale
+        return self
+
+    def transform(self, features: np.ndarray) -> np.ndarray:
+        """Apply the learned standardisation."""
+        if self.mean_ is None or self.scale_ is None:
+            raise RuntimeError("StandardScaler must be fit before transform")
+        matrix = check_matrix(features)
+        if matrix.shape[1] != self.mean_.shape[0]:
+            raise ValueError(
+                f"expected {self.mean_.shape[0]} features, got {matrix.shape[1]}"
+            )
+        return (matrix - self.mean_) / self.scale_
+
+    def fit_transform(self, features: np.ndarray) -> np.ndarray:
+        """Fit on ``features`` and return the transformed matrix."""
+        return self.fit(features).transform(features)
+
+
+class MinMaxScaler:
+    """Scale features to the [0, 1] range column-wise."""
+
+    def __init__(self) -> None:
+        self.min_: Optional[np.ndarray] = None
+        self.range_: Optional[np.ndarray] = None
+
+    def fit(self, features: np.ndarray) -> "MinMaxScaler":
+        """Learn per-column minimum and range."""
+        matrix = check_matrix(features)
+        if matrix.shape[0] == 0:
+            raise ValueError("cannot fit a scaler on an empty matrix")
+        self.min_ = matrix.min(axis=0)
+        spread = matrix.max(axis=0) - self.min_
+        spread[spread == 0.0] = 1.0
+        self.range_ = spread
+        return self
+
+    def transform(self, features: np.ndarray) -> np.ndarray:
+        """Apply the learned min-max scaling (values may exceed [0, 1] out of range)."""
+        if self.min_ is None or self.range_ is None:
+            raise RuntimeError("MinMaxScaler must be fit before transform")
+        matrix = check_matrix(features)
+        if matrix.shape[1] != self.min_.shape[0]:
+            raise ValueError(
+                f"expected {self.min_.shape[0]} features, got {matrix.shape[1]}"
+            )
+        return (matrix - self.min_) / self.range_
+
+    def fit_transform(self, features: np.ndarray) -> np.ndarray:
+        """Fit on ``features`` and return the transformed matrix."""
+        return self.fit(features).transform(features)

@@ -1,0 +1,35 @@
+"""Shared utilities: text signatures, RNG, priority queues, timing, validation."""
+
+from .pqueue import BoundedTopQueue
+from .rng import SeedLike, make_rng, sample_without_replacement, spawn_seeds
+from .text import (
+    STOP_WORDS,
+    distinct_qgrams,
+    distinct_suffixes,
+    distinct_tokens,
+    jaccard,
+    normalize,
+    qgrams,
+    suffixes,
+    tokens,
+)
+from .timing import StageTimer, speedup
+
+__all__ = [
+    "BoundedTopQueue",
+    "STOP_WORDS",
+    "SeedLike",
+    "StageTimer",
+    "distinct_qgrams",
+    "distinct_suffixes",
+    "distinct_tokens",
+    "jaccard",
+    "make_rng",
+    "normalize",
+    "qgrams",
+    "sample_without_replacement",
+    "spawn_seeds",
+    "speedup",
+    "suffixes",
+    "tokens",
+]

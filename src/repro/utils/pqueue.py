@@ -1,0 +1,76 @@
+"""Bounded priority queues for cardinality-based pruning.
+
+CEP keeps the global top-K weighted comparisons; CNP/RCNP keep the top-k per
+entity.  Both need a *min-heap of bounded size*: pushing beyond capacity
+evicts the lowest-weighted element and exposes the new minimum as the
+admission threshold, exactly as Algorithms 4 and 5 in the paper describe.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Generic, Iterable, Iterator, List, Optional, Tuple, TypeVar
+
+T = TypeVar("T")
+
+
+class BoundedTopQueue(Generic[T]):
+    """Keep the ``capacity`` items with the highest weights.
+
+    Ties are broken by insertion order (earlier insertions win), which makes
+    the pruning deterministic for equal probabilities.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be at least 1")
+        self.capacity = capacity
+        self._heap: List[Tuple[float, int, T]] = []
+        self._counter = itertools.count()
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __contains__(self, item: object) -> bool:
+        return any(entry[2] == item for entry in self._heap)
+
+    @property
+    def min_weight(self) -> float:
+        """The lowest weight currently retained (0.0 when empty).
+
+        This is the ``minp`` admission threshold of Algorithms 4/5: a new item
+        is worth pushing only if its weight exceeds it once the queue is full.
+        """
+        if len(self._heap) < self.capacity:
+            return 0.0
+        return self._heap[0][0]
+
+    def push(self, weight: float, item: T) -> Optional[T]:
+        """Insert ``item``; return the evicted item when capacity is exceeded.
+
+        The tie-break uses a *negated* insertion counter so that, among equal
+        weights, the most recently inserted item is evicted first and earlier
+        insertions survive.
+        """
+        entry = (weight, -next(self._counter), item)
+        if len(self._heap) < self.capacity:
+            heapq.heappush(self._heap, entry)
+            return None
+        if entry <= self._heap[0]:
+            return item
+        evicted = heapq.heappushpop(self._heap, entry)
+        return evicted[2]
+
+    def items(self) -> List[T]:
+        """Return retained items ordered by decreasing weight."""
+        ordered = sorted(self._heap, key=lambda entry: (-entry[0], entry[1]))
+        return [entry[2] for entry in ordered]
+
+    def weighted_items(self) -> List[Tuple[float, T]]:
+        """Return (weight, item) tuples ordered by decreasing weight."""
+        ordered = sorted(self._heap, key=lambda entry: (-entry[0], entry[1]))
+        return [(entry[0], entry[2]) for entry in ordered]
+
+    def __iter__(self) -> Iterator[T]:
+        return iter(self.items())

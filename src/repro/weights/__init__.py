@@ -1,0 +1,49 @@
+"""Weighting schemes and block co-occurrence statistics."""
+
+from .registry import (
+    BLAST_FEATURE_SET,
+    ORIGINAL_FEATURE_SET,
+    PAPER_FEATURES,
+    RCNP_FEATURE_SET,
+    SCHEME_CLASSES,
+    all_feature_subsets,
+    feature_width,
+    get_scheme,
+    get_schemes,
+)
+from .schemes import (
+    CFIBFScheme,
+    CommonBlocksScheme,
+    EnhancedJaccardScheme,
+    JaccardScheme,
+    LocalCandidatesScheme,
+    NormalizedReciprocalSizesScheme,
+    RACCBScheme,
+    ReciprocalSizesScheme,
+    WeightedJaccardScheme,
+    WeightingScheme,
+)
+from .statistics import BlockStatistics
+
+__all__ = [
+    "BLAST_FEATURE_SET",
+    "BlockStatistics",
+    "CFIBFScheme",
+    "CommonBlocksScheme",
+    "EnhancedJaccardScheme",
+    "JaccardScheme",
+    "LocalCandidatesScheme",
+    "NormalizedReciprocalSizesScheme",
+    "ORIGINAL_FEATURE_SET",
+    "PAPER_FEATURES",
+    "RACCBScheme",
+    "RCNP_FEATURE_SET",
+    "ReciprocalSizesScheme",
+    "SCHEME_CLASSES",
+    "WeightedJaccardScheme",
+    "WeightingScheme",
+    "all_feature_subsets",
+    "feature_width",
+    "get_scheme",
+    "get_schemes",
+]

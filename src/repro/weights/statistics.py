@@ -1,0 +1,150 @@
+"""Block co-occurrence statistics.
+
+All weighting schemes of the paper (Section 4) are functions of the block
+co-occurrence patterns of a candidate pair:
+
+* ``B_i`` — the set of blocks containing entity ``e_i``;
+* ``|b|`` — the number of entities in block ``b``;
+* ``||b||`` — the number of comparisons block ``b`` spawns;
+* ``||B||`` — the total number of comparisons in the collection;
+* ``||e_i||`` — the summed cardinality of the blocks of ``e_i``.
+
+:class:`BlockStatistics` precomputes these quantities once per block
+collection so that feature generation touches only per-pair set
+intersections, the irreducible part of the cost.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+import numpy as np
+
+from ..datamodel import BlockCollection, CandidateSet
+
+
+class BlockStatistics:
+    """Precomputed per-entity and per-block statistics of a block collection.
+
+    Parameters
+    ----------
+    blocks:
+        The (purged/filtered) block collection the candidate pairs come from.
+    """
+
+    def __init__(self, blocks: BlockCollection) -> None:
+        self.blocks = blocks
+        self.num_blocks = len(blocks)
+
+        # per-block quantities
+        self.block_sizes = np.array(
+            [block.size() for block in blocks], dtype=np.float64
+        )
+        self.block_cardinalities = np.array(
+            [block.cardinality() for block in blocks], dtype=np.float64
+        )
+        self.total_cardinality = float(self.block_cardinalities.sum())
+
+        # per-entity block memberships as frozensets for fast intersections
+        membership: Dict[int, Set[int]] = {}
+        for block_id, block in enumerate(blocks):
+            for node in block.all_entities():
+                membership.setdefault(node, set()).add(block_id)
+        self._entity_blocks: Dict[int, FrozenSet[int]] = {
+            node: frozenset(block_ids) for node, block_ids in membership.items()
+        }
+
+        total_nodes = blocks.index_space.total
+        self.blocks_per_entity = np.zeros(total_nodes, dtype=np.float64)
+        self.entity_cardinality = np.zeros(total_nodes, dtype=np.float64)
+        self.entity_inv_cardinality = np.zeros(total_nodes, dtype=np.float64)
+        self.entity_inv_size = np.zeros(total_nodes, dtype=np.float64)
+        for node, block_ids in self._entity_blocks.items():
+            ids = list(block_ids)
+            self.blocks_per_entity[node] = len(ids)
+            self.entity_cardinality[node] = float(self.block_cardinalities[ids].sum())
+            with np.errstate(divide="ignore"):
+                self.entity_inv_cardinality[node] = float(
+                    np.sum(1.0 / np.maximum(self.block_cardinalities[ids], 1.0))
+                )
+                self.entity_inv_size[node] = float(
+                    np.sum(1.0 / np.maximum(self.block_sizes[ids], 1.0))
+                )
+
+        self._lcp: Optional[np.ndarray] = None
+
+    # -- memberships -----------------------------------------------------------
+    def blocks_of(self, node: int) -> FrozenSet[int]:
+        """The block ids containing ``node`` (empty when the node has none)."""
+        return self._entity_blocks.get(node, frozenset())
+
+    def common_blocks(self, i: int, j: int) -> FrozenSet[int]:
+        """The blocks shared by nodes ``i`` and ``j`` (``B_i ∩ B_j``)."""
+        blocks_i = self.blocks_of(i)
+        blocks_j = self.blocks_of(j)
+        if len(blocks_i) > len(blocks_j):
+            blocks_i, blocks_j = blocks_j, blocks_i
+        return blocks_i & blocks_j
+
+    # -- aggregates over common blocks -----------------------------------------
+    def common_block_count(self, i: int, j: int) -> int:
+        """``|B_i ∩ B_j|`` — the raw number of shared blocks."""
+        return len(self.common_blocks(i, j))
+
+    def sum_inverse_cardinality(self, block_ids: FrozenSet[int]) -> float:
+        """``Σ 1/||b||`` over the given blocks (RACCB/WJS numerator)."""
+        if not block_ids:
+            return 0.0
+        ids = list(block_ids)
+        return float(np.sum(1.0 / np.maximum(self.block_cardinalities[ids], 1.0)))
+
+    def sum_inverse_size(self, block_ids: FrozenSet[int]) -> float:
+        """``Σ 1/|b|`` over the given blocks (RS/NRS numerator)."""
+        if not block_ids:
+            return 0.0
+        ids = list(block_ids)
+        return float(np.sum(1.0 / np.maximum(self.block_sizes[ids], 1.0)))
+
+    # -- LCP ---------------------------------------------------------------------
+    def local_candidate_counts(self) -> np.ndarray:
+        """``LCP(e_i)`` — the number of distinct candidates of every entity.
+
+        Computed, as in the reference implementation, by iterating over the
+        blocks of every entity and collecting its distinct co-occurring
+        entities.  This is deliberately the expensive formulation the paper's
+        run-time analysis relies on; the result is cached after the first call.
+        """
+        if self._lcp is None:
+            total_nodes = self.blocks.index_space.total
+            counts = np.zeros(total_nodes, dtype=np.float64)
+            neighbours: Dict[int, Set[int]] = {}
+            for block in self.blocks:
+                if block.is_bilateral:
+                    for node in block.entities_first:
+                        neighbours.setdefault(node, set()).update(block.entities_second)
+                    for node in block.entities_second:
+                        neighbours.setdefault(node, set()).update(block.entities_first)
+                else:
+                    members = block.entities_first
+                    member_set = set(members)
+                    for node in members:
+                        others = member_set - {node}
+                        neighbours.setdefault(node, set()).update(others)
+            for node, candidate_set in neighbours.items():
+                counts[node] = len(candidate_set)
+            self._lcp = counts
+        return self._lcp
+
+    # -- summaries ----------------------------------------------------------------
+    def describe(self) -> Dict[str, float]:
+        """Summary statistics used in reports and tests."""
+        return {
+            "blocks": float(self.num_blocks),
+            "total_cardinality": self.total_cardinality,
+            "avg_blocks_per_entity": float(
+                self.blocks_per_entity[self.blocks_per_entity > 0].mean()
+            )
+            if np.any(self.blocks_per_entity > 0)
+            else 0.0,
+            "max_block_size": float(self.block_sizes.max()) if self.num_blocks else 0.0,
+        }

@@ -1,0 +1,95 @@
+"""Tests for the exhaustive feature-set selection machinery."""
+
+import pytest
+
+from repro.core import (
+    FeatureSelectionStudy,
+    FeatureSetCandidate,
+    PreparedDataset,
+    enumerate_feature_sets,
+    evaluate_feature_set,
+)
+
+
+class TestEnumeration:
+    def test_enumerates_all_255_sets(self):
+        sets = enumerate_feature_sets()
+        assert len(sets) == 255
+        assert sets[0].set_id == 1
+        assert sets[-1].set_id == 255
+        assert len(sets[-1].features) == 8
+
+    def test_ids_are_stable_and_unique(self):
+        first = enumerate_feature_sets()
+        second = enumerate_feature_sets()
+        assert [c.features for c in first] == [c.features for c in second]
+        assert len({c.set_id for c in first}) == 255
+
+    def test_label_format(self):
+        candidate = FeatureSetCandidate(set_id=1, features=("CF-IBF", "JS"))
+        assert candidate.label() == "{CF-IBF, JS}"
+
+    def test_custom_pool(self):
+        sets = enumerate_feature_sets(("JS", "RS"))
+        assert len(sets) == 3
+
+
+class TestEvaluation:
+    def test_evaluate_feature_set_returns_report_and_runtime(self, prepared_dblpacm):
+        report, runtime = evaluate_feature_set(
+            ("CF-IBF", "JS"),
+            prepared_dblpacm,
+            pruning="BLAST",
+            training_size=50,
+            repetitions=1,
+            seed=0,
+        )
+        assert 0.0 <= report.recall <= 1.0
+        assert 0.0 <= report.precision <= 1.0
+        assert runtime > 0.0
+
+    def test_invalid_repetitions(self, prepared_dblpacm):
+        with pytest.raises(ValueError):
+            evaluate_feature_set(
+                ("JS",), prepared_dblpacm, pruning="BLAST", repetitions=0
+            )
+
+
+class TestStudy:
+    def test_study_ranks_by_f1_then_runtime(self, prepared_dblpacm, prepared_abtbuy):
+        study = FeatureSelectionStudy(
+            datasets=[prepared_dblpacm, prepared_abtbuy],
+            pruning="BLAST",
+            training_size=50,
+            repetitions=1,
+            seed=0,
+        )
+        candidates = [
+            FeatureSetCandidate(1, ("CF-IBF", "RACCB", "RS", "NRS")),
+            FeatureSetCandidate(2, ("JS",)),
+            FeatureSetCandidate(3, ("CF-IBF", "RACCB", "JS", "LCP")),
+        ]
+        top = study.run(candidates, top_k=2)
+        assert len(top) == 2
+        assert top[0].f1 >= top[1].f1
+        # every score carries its candidate metadata
+        assert all(score.candidate.set_id in {1, 2, 3} for score in top)
+
+    def test_study_requires_datasets(self):
+        with pytest.raises(ValueError):
+            FeatureSelectionStudy(datasets=[], pruning="BLAST")
+
+    def test_prepared_dataset_caches_statistics(self, prepared_dblpacm):
+        first = prepared_dblpacm.statistics()
+        second = prepared_dblpacm.statistics()
+        assert first is second
+
+    def test_score_row_format(self, prepared_dblpacm):
+        study = FeatureSelectionStudy(
+            datasets=[prepared_dblpacm], pruning="RCNP", training_size=50, repetitions=1
+        )
+        score = study.score_feature_set(FeatureSetCandidate(9, ("CF-IBF", "JS", "LCP")))
+        row = score.as_row()
+        assert row["id"] == 9
+        assert "CF-IBF" in row["feature_set"]
+        assert set(row) == {"id", "feature_set", "recall", "precision", "f1", "runtime_seconds"}

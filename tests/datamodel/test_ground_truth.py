@@ -1,0 +1,66 @@
+"""Tests for the ground truth of duplicate pairs."""
+
+import numpy as np
+import pytest
+
+from repro.datamodel import (
+    CandidateSet,
+    EntityCollection,
+    EntityIndexSpace,
+    GroundTruth,
+    make_profile,
+)
+
+
+@pytest.fixture
+def two_collections():
+    first = EntityCollection([make_profile("a1"), make_profile("a2")], name="first")
+    second = EntityCollection([make_profile("b1"), make_profile("b2")], name="second")
+    return first, second
+
+
+class TestGroundTruth:
+    def test_from_id_pairs_clean_clean(self, two_collections):
+        first, second = two_collections
+        truth = GroundTruth.from_id_pairs([("a1", "b2")], first, second)
+        assert len(truth) == 1
+        # a1 is node 0, b2 is node 3
+        assert truth.is_match(0, 3)
+        assert truth.is_match(3, 0)
+        assert not truth.is_match(0, 2)
+
+    def test_from_id_pairs_dirty(self):
+        collection = EntityCollection(
+            [make_profile("x"), make_profile("y"), make_profile("z")], name="dirty"
+        )
+        truth = GroundTruth.from_id_pairs([("x", "z")], collection)
+        assert truth.is_match(0, 2)
+        assert not truth.is_match(0, 1)
+
+    def test_self_pair_rejected(self):
+        space = EntityIndexSpace(3)
+        with pytest.raises(ValueError):
+            GroundTruth([(1, 1)], space)
+
+    def test_labels_for_candidates(self, two_collections):
+        first, second = two_collections
+        truth = GroundTruth.from_id_pairs([("a1", "b1")], first, second)
+        space = truth.index_space
+        candidates = CandidateSet.from_pairs([(0, 2), (1, 3)], space)
+        labels = truth.labels_for(candidates)
+        assert labels.tolist() == [True, False]
+
+    def test_covered_and_missed(self, two_collections):
+        first, second = two_collections
+        truth = GroundTruth.from_id_pairs([("a1", "b1"), ("a2", "b2")], first, second)
+        candidates = CandidateSet.from_pairs([(0, 2)], truth.index_space)
+        assert truth.covered_by(candidates) == 1
+        assert truth.missed_by(candidates) == {(1, 3)}
+
+    def test_iteration_and_pairs_copy(self, two_collections):
+        first, second = two_collections
+        truth = GroundTruth.from_id_pairs([("a2", "b1"), ("a1", "b1")], first, second)
+        assert list(truth) == [(0, 2), (1, 2)]
+        pairs = truth.pairs()
+        pairs.add((9, 10))
+        assert len(truth) == 2  # mutation of the copy does not leak

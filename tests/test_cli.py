@@ -1,0 +1,62 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, build_parser, main
+
+
+class TestParser:
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        output = capsys.readouterr().out
+        for name in ("table2", "fig5", "table5", "fig17-18"):
+            assert name in output
+
+    def test_run_requires_known_experiment(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["run", "bogus-experiment"])
+
+    def test_dataset_choices_validated(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["run", "table2", "--datasets", "NotADataset"])
+
+    def test_every_registered_experiment_has_a_handler(self):
+        for name, handler in EXPERIMENTS.items():
+            assert callable(handler), name
+
+
+class TestExecution:
+    def test_run_table2(self, capsys):
+        exit_code = main(["run", "table2", "--datasets", "AbtBuy", "--seed", "0"])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "AbtBuy" in output
+        assert "recall" in output
+
+    def test_run_fig6_small(self, capsys):
+        exit_code = main(
+            [
+                "run",
+                "fig6",
+                "--datasets",
+                "AbtBuy",
+                "--repetitions",
+                "1",
+                "--training-size",
+                "50",
+            ]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "RCNP" in output and "CEP" in output
+
+    def test_quickstart(self, capsys):
+        exit_code = main(
+            ["quickstart", "--datasets", "DblpAcm", "--training-size", "50", "--seed", "1"]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "before meta-blocking" in output
+        assert "after  meta-blocking" in output

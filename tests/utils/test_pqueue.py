@@ -1,0 +1,61 @@
+"""Tests for the bounded top-weight priority queue."""
+
+import pytest
+
+from repro.utils import BoundedTopQueue
+
+
+class TestBoundedTopQueue:
+    def test_keeps_top_weighted_items(self):
+        queue = BoundedTopQueue(2)
+        queue.push(0.1, "low")
+        queue.push(0.9, "high")
+        queue.push(0.5, "mid")
+        assert queue.items() == ["high", "mid"]
+
+    def test_eviction_returns_displaced_item(self):
+        queue = BoundedTopQueue(1)
+        assert queue.push(0.5, "a") is None
+        assert queue.push(0.9, "b") == "a"
+        assert queue.push(0.1, "c") == "c"  # rejected item is "evicted" immediately
+
+    def test_min_weight_tracks_admission_threshold(self):
+        queue = BoundedTopQueue(2)
+        assert queue.min_weight == 0.0
+        queue.push(0.4, "a")
+        assert queue.min_weight == 0.0  # not yet full
+        queue.push(0.7, "b")
+        assert queue.min_weight == pytest.approx(0.4)
+        queue.push(0.9, "c")
+        assert queue.min_weight == pytest.approx(0.7)
+
+    def test_items_ordered_by_decreasing_weight(self):
+        queue = BoundedTopQueue(3)
+        for weight, item in [(0.2, "c"), (0.9, "a"), (0.5, "b")]:
+            queue.push(weight, item)
+        assert queue.items() == ["a", "b", "c"]
+        assert queue.weighted_items()[0] == (0.9, "a")
+
+    def test_ties_keep_earlier_insertions(self):
+        queue = BoundedTopQueue(1)
+        queue.push(0.5, "first")
+        evicted = queue.push(0.5, "second")
+        assert evicted == "second"
+        assert queue.items() == ["first"]
+
+    def test_contains(self):
+        queue = BoundedTopQueue(2)
+        queue.push(0.5, "x")
+        assert "x" in queue
+        assert "y" not in queue
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            BoundedTopQueue(0)
+
+    def test_len_and_iter(self):
+        queue = BoundedTopQueue(5)
+        for index in range(3):
+            queue.push(index / 10, index)
+        assert len(queue) == 3
+        assert list(queue) == [2, 1, 0]

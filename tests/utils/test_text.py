@@ -1,0 +1,93 @@
+"""Tests for text normalisation and signature extraction."""
+
+import pytest
+
+from repro.utils import (
+    distinct_qgrams,
+    distinct_suffixes,
+    distinct_tokens,
+    jaccard,
+    normalize,
+    qgrams,
+    suffixes,
+    tokens,
+)
+
+
+class TestNormalize:
+    def test_lowercase_and_punctuation(self):
+        assert normalize("Apple iPhone-X!") == "apple iphone-x!"
+
+    def test_accent_stripping(self):
+        assert normalize("Café Münster") == "cafe munster"
+
+    def test_empty(self):
+        assert normalize("") == ""
+
+
+class TestTokens:
+    def test_basic_tokenisation(self):
+        assert tokens("Apple iPhone X") == ["apple", "iphone", "x"]
+
+    def test_punctuation_split(self):
+        assert tokens("samsung-s20, 128GB") == ["samsung", "s20", "128gb"]
+
+    def test_min_length_filter(self):
+        assert tokens("a bb ccc", min_length=2) == ["bb", "ccc"]
+
+    def test_stop_word_removal(self):
+        assert tokens("the apple and the orange", remove_stop_words=True) == [
+            "apple",
+            "orange",
+        ]
+
+    def test_distinct_tokens(self):
+        assert distinct_tokens("apple apple banana") == {"apple", "banana"}
+
+    def test_same_signature_after_case_and_punctuation(self):
+        assert distinct_tokens("iPhone-X") == distinct_tokens("iphone x")
+
+
+class TestQGrams:
+    def test_trigram_extraction(self):
+        assert qgrams("abcd", q=3) == ["abc", "bcd"]
+
+    def test_short_token_kept_whole(self):
+        assert qgrams("ab", q=3) == ["ab"]
+
+    def test_invalid_q(self):
+        with pytest.raises(ValueError):
+            qgrams("abc", q=0)
+
+    def test_distinct_qgrams(self):
+        assert distinct_qgrams("aaaa", q=2) == {"aa"}
+
+
+class TestSuffixes:
+    def test_suffix_extraction(self):
+        assert suffixes("abcde", min_suffix_length=3) == ["abcde", "bcde", "cde"]
+
+    def test_short_token_kept_whole(self):
+        assert suffixes("ab", min_suffix_length=3) == ["ab"]
+
+    def test_invalid_min_length(self):
+        with pytest.raises(ValueError):
+            suffixes("abc", min_suffix_length=0)
+
+    def test_distinct_suffixes_over_multiple_tokens(self):
+        result = distinct_suffixes("abcd wxyz", min_suffix_length=3)
+        assert "bcd" in result and "xyz" in result
+
+
+class TestJaccard:
+    def test_identical_sets(self):
+        assert jaccard({"a", "b"}, {"a", "b"}) == 1.0
+
+    def test_disjoint_sets(self):
+        assert jaccard({"a"}, {"b"}) == 0.0
+
+    def test_partial_overlap(self):
+        assert jaccard({"a", "b", "c"}, {"b", "c", "d"}) == pytest.approx(0.5)
+
+    def test_empty_sets(self):
+        assert jaccard(set(), set()) == 0.0

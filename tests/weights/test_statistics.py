@@ -1,0 +1,80 @@
+"""Tests for the block co-occurrence statistics.
+
+The expected values are hand-computed on the ``small_blocks`` fixture:
+
+* block "alpha" = {0, 1} x {3}   (size 3, cardinality 2)
+* block "beta"  = {0}    x {3, 4}(size 3, cardinality 2)
+* block "gamma" = {1, 2} x {4, 5}(size 4, cardinality 4)
+* block "delta" = {2}    x {5}   (size 2, cardinality 1)
+"""
+
+import numpy as np
+import pytest
+
+from repro.weights import BlockStatistics
+
+
+class TestBlockStatistics:
+    def test_global_counts(self, small_stats):
+        assert small_stats.num_blocks == 4
+        assert small_stats.total_cardinality == 9.0
+        assert small_stats.block_sizes.tolist() == [3.0, 3.0, 4.0, 2.0]
+        assert small_stats.block_cardinalities.tolist() == [2.0, 2.0, 4.0, 1.0]
+
+    def test_entity_memberships(self, small_stats):
+        assert small_stats.blocks_of(0) == frozenset({0, 1})
+        assert small_stats.blocks_of(5) == frozenset({2, 3})
+        assert small_stats.blocks_of(99) == frozenset()
+
+    def test_blocks_per_entity(self, small_stats):
+        assert small_stats.blocks_per_entity[0] == 2
+        assert small_stats.blocks_per_entity[2] == 2
+        assert small_stats.blocks_per_entity.sum() == 12
+
+    def test_common_blocks(self, small_stats):
+        assert small_stats.common_blocks(0, 3) == frozenset({0, 1})
+        assert small_stats.common_blocks(1, 4) == frozenset({2})
+        assert small_stats.common_blocks(0, 5) == frozenset()
+        assert small_stats.common_block_count(0, 3) == 2
+
+    def test_entity_cardinality(self, small_stats):
+        # ||e_0|| = ||alpha|| + ||beta|| = 2 + 2
+        assert small_stats.entity_cardinality[0] == 4.0
+        # ||e_5|| = ||gamma|| + ||delta|| = 4 + 1
+        assert small_stats.entity_cardinality[5] == 5.0
+
+    def test_inverse_sums(self, small_stats):
+        assert small_stats.entity_inv_cardinality[0] == pytest.approx(1.0)  # 1/2 + 1/2
+        assert small_stats.entity_inv_size[0] == pytest.approx(2.0 / 3.0)  # 1/3 + 1/3
+        assert small_stats.sum_inverse_cardinality(frozenset({0, 1})) == pytest.approx(1.0)
+        assert small_stats.sum_inverse_size(frozenset({2, 3})) == pytest.approx(0.75)
+        assert small_stats.sum_inverse_cardinality(frozenset()) == 0.0
+
+    def test_local_candidate_counts(self, small_stats):
+        lcp = small_stats.local_candidate_counts()
+        assert lcp[0] == 2  # candidates of entity 0: {3, 4}
+        assert lcp[1] == 3  # candidates of entity 1: {3, 4, 5}
+        assert lcp[4] == 3  # candidates of entity 4: {0, 1, 2}
+        assert lcp[5] == 2
+
+    def test_lcp_is_cached(self, small_blocks):
+        stats = BlockStatistics(small_blocks)
+        first = stats.local_candidate_counts()
+        second = stats.local_candidate_counts()
+        assert first is second
+
+    def test_describe(self, small_stats):
+        summary = small_stats.describe()
+        assert summary["blocks"] == 4
+        assert summary["total_cardinality"] == 9.0
+        assert summary["max_block_size"] == 4.0
+        assert summary["avg_blocks_per_entity"] == pytest.approx(2.0)
+
+    def test_dirty_blocks_lcp(self):
+        from repro.datamodel import Block, BlockCollection, EntityIndexSpace
+
+        space = EntityIndexSpace(4)
+        blocks = BlockCollection([Block("k", [0, 1, 2]), Block("m", [2, 3])], space)
+        stats = BlockStatistics(blocks)
+        lcp = stats.local_candidate_counts()
+        assert lcp.tolist() == [2.0, 2.0, 3.0, 1.0]
