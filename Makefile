@@ -1,0 +1,27 @@
+# Convenience targets wrapping the project's canonical commands.
+#
+#   make test              - the tier-1 verification suite (fails fast)
+#   make test-equivalence  - backend-equivalence + golden regression tests only
+#   make test-fast         - tier-1 suite without the perf smoke tests
+#   make bench-smoke       - quick feature-runtime bench incl. backend speedup
+#   make bench             - the full pytest-benchmark harness
+
+PYTHON ?= python
+PYTEST  = PYTHONPATH=src $(PYTHON) -m pytest
+
+.PHONY: test test-equivalence test-fast bench-smoke bench
+
+test:
+	$(PYTEST) -x -q
+
+test-equivalence:
+	$(PYTEST) -q tests/weights/test_backend_equivalence.py tests/weights/test_golden_features.py
+
+test-fast:
+	REPRO_SKIP_PERF=1 $(PYTEST) -x -q
+
+bench-smoke:
+	$(PYTEST) -q benchmarks/bench_fig7_fig9_feature_runtime.py
+
+bench:
+	$(PYTEST) -q benchmarks/ -o python_files='bench_*.py' --benchmark-only

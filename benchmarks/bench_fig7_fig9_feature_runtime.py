@@ -7,41 +7,78 @@ LCP-free sets (all of BLAST's) are cheaper than the LCP-bearing ones (all of
 RCNP's).
 """
 
+from dataclasses import replace
+
+import numpy as np
 import pytest
 
 from repro.experiments import (
     BLAST_TOP10,
     RCNP_TOP10,
+    backend_speedups,
+    format_backend_comparison,
     format_feature_runtime,
     lcp_free_sets_are_faster,
+    run_backend_comparison,
     run_feature_runtime,
 )
+from repro.weights import BACKENDS, BLAST_FEATURE_SET
 
 
+@pytest.mark.parametrize("backend", BACKENDS)
 @pytest.mark.parametrize(
     "figure,feature_sets",
     [("fig7", BLAST_TOP10), ("fig9", RCNP_TOP10)],
     ids=["figure7_blast_sets", "figure9_rcnp_sets"],
 )
 def test_feature_set_runtimes(
-    benchmark, small_config, report_sink, largest_datasets, full_mode, figure, feature_sets
+    benchmark,
+    small_config,
+    report_sink,
+    largest_datasets,
+    full_mode,
+    figure,
+    feature_sets,
+    backend,
 ):
     """Time every top-10 feature set on the largest generated datasets."""
     selected = feature_sets if full_mode else feature_sets[:4]
+    config = replace(small_config, backend=backend)
     rows = benchmark.pedantic(
         run_feature_runtime,
-        args=(selected, small_config),
+        args=(selected, config),
         kwargs=dict(dataset_names=largest_datasets),
         rounds=1,
         iterations=1,
     )
     title = (
-        "Figure 7 — run-time of BLAST's top feature sets"
+        f"Figure 7 — run-time of BLAST's top feature sets ({backend} backend)"
         if figure == "fig7"
-        else "Figure 9 — run-time of RCNP's top feature sets"
+        else f"Figure 9 — run-time of RCNP's top feature sets ({backend} backend)"
     )
-    report_sink(f"{figure}_feature_runtime", format_feature_runtime(rows, title))
+    report_sink(f"{figure}_feature_runtime_{backend}", format_feature_runtime(rows, title))
     assert all(row.total_seconds > 0 for row in rows)
+    assert all(row.backend == backend for row in rows)
+
+
+def test_sparse_backend_speedup(benchmark, small_config, report_sink, largest_datasets):
+    """Measure (not assert) the sparse backend's speedup on the largest datasets."""
+    rows = benchmark.pedantic(
+        run_backend_comparison,
+        args=(BLAST_FEATURE_SET,),
+        kwargs=dict(config=small_config, dataset_names=largest_datasets),
+        rounds=1,
+        iterations=1,
+    )
+    report_sink(
+        "fig7_fig9_backend_speedup",
+        format_backend_comparison(
+            rows, "Feature-generation run-time per backend (Figures 7/9 datasets)"
+        ),
+    )
+    speedups = backend_speedups(rows)
+    assert len(speedups) == len(largest_datasets)
+    assert all(np.isfinite(row["speedup"]) and row["speedup"] > 0 for row in speedups)
 
 
 def test_fig7_vs_fig9_lcp_cost(benchmark, small_config, report_sink, largest_datasets):

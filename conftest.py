@@ -12,3 +12,12 @@ from pathlib import Path
 _SRC = Path(__file__).parent / "src"
 if str(_SRC) not in sys.path:
     sys.path.insert(0, str(_SRC))
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "perf: performance smoke tests comparing the feature backends "
+        "(deselect with '-m \"not perf\"' or set REPRO_SKIP_PERF=1 in "
+        "constrained CI)",
+    )

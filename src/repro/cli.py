@@ -20,6 +20,7 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 from . import experiments as ex
 from .datasets import CLEAN_CLEAN_ORDER
+from .weights import BACKENDS
 
 
 def _config_from_args(args: argparse.Namespace) -> ex.ExperimentConfig:
@@ -28,6 +29,7 @@ def _config_from_args(args: argparse.Namespace) -> ex.ExperimentConfig:
         repetitions=args.repetitions,
         training_size=args.training_size,
         seed=args.seed,
+        backend=args.backend,
     )
 
 
@@ -105,7 +107,9 @@ def _run_fig1516(args: argparse.Namespace) -> str:
 
 
 def _run_scalability(args: argparse.Namespace) -> str:
-    config = ex.ExperimentConfig(repetitions=args.repetitions, seed=args.seed)
+    config = ex.ExperimentConfig(
+        repetitions=args.repetitions, seed=args.seed, backend=args.backend
+    )
     result = ex.run_scalability(config, dataset_names=("D10K", "D50K", "D100K"), scale=0.02)
     table6 = ex.run_table6("D100K", iterations=3, config=config, scale=0.01)
     return "\n\n".join(
@@ -143,7 +147,10 @@ def _run_quickstart(args: argparse.Namespace) -> str:
     prepared = prepare_blocks(dataset.first, dataset.second)
     before = evaluate_candidates(prepared.candidates, dataset.ground_truth)
     pipeline = GeneralizedSupervisedMetaBlocking(
-        pruning="BLAST", training_size=args.training_size, seed=args.seed
+        pruning="BLAST",
+        training_size=args.training_size,
+        seed=args.seed,
+        backend=args.backend,
     )
     result = pipeline.run(prepared.blocks, prepared.candidates, dataset.ground_truth)
     after = evaluate_result(result, dataset.ground_truth)
@@ -177,6 +184,12 @@ def build_parser() -> argparse.ArgumentParser:
         sub.add_argument("--training-size", type=int, default=500, dest="training_size")
         sub.add_argument("--seed", type=int, default=0)
         sub.add_argument("--max-set-size", type=int, default=3, dest="max_set_size")
+        sub.add_argument(
+            "--backend",
+            choices=list(BACKENDS),
+            default="loop",
+            help="feature-generation backend: 'loop' (reference) or 'sparse' (vectorized)",
+        )
 
     run_parser = subparsers.add_parser("run", help="regenerate one table/figure")
     run_parser.add_argument("experiment", choices=sorted(EXPERIMENTS))

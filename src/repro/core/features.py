@@ -18,6 +18,7 @@ from ..datamodel import BlockCollection, CandidateSet
 from ..utils.timing import StageTimer
 from ..weights import BlockStatistics, get_schemes
 from ..weights.registry import ORIGINAL_FEATURE_SET
+from ..weights.sparse import resolve_backend
 
 
 @dataclass
@@ -32,6 +33,8 @@ class FeatureMatrix:
     feature_set: Tuple[str, ...]
     #: seconds spent computing each scheme
     scheme_seconds: Dict[str, float] = field(default_factory=dict)
+    #: the feature backend that produced the values ("loop" or "sparse")
+    backend: str = "loop"
 
     @property
     def n_pairs(self) -> int:
@@ -44,8 +47,20 @@ class FeatureMatrix:
         return int(self.values.shape[1])
 
     def column_index(self, label: str) -> int:
-        """Position of a column label."""
-        return self.columns.index(label)
+        """Position of a column label.
+
+        Raises
+        ------
+        KeyError
+            Naming the available columns when ``label`` is not one of them.
+        """
+        try:
+            return self.columns.index(label)
+        except ValueError:
+            available = ", ".join(repr(column) for column in self.columns)
+            raise KeyError(
+                f"unknown feature column {label!r}; available columns: {available}"
+            ) from None
 
     def select(self, rows: np.ndarray) -> np.ndarray:
         """Return the feature values of the selected rows."""
@@ -60,13 +75,22 @@ class FeatureVectorGenerator:
     feature_set:
         Scheme names (see :mod:`repro.weights.registry`).  Defaults to the
         optimal set of Supervised Meta-blocking [21].
+    backend:
+        ``"loop"`` (per-pair reference implementation, the default) or
+        ``"sparse"`` (vectorized batched implementation, see
+        :mod:`repro.weights.sparse`).  Both produce identical matrices.
     """
 
-    def __init__(self, feature_set: Sequence[str] = ORIGINAL_FEATURE_SET) -> None:
+    def __init__(
+        self,
+        feature_set: Sequence[str] = ORIGINAL_FEATURE_SET,
+        backend: str = "loop",
+    ) -> None:
         names = tuple(feature_set)
         if not names:
             raise ValueError("feature_set must contain at least one scheme")
         self.feature_set = names
+        self.backend = resolve_backend(backend)
         self._schemes = get_schemes(names)
 
     @property
@@ -103,7 +127,9 @@ class FeatureVectorGenerator:
         local_timer = StageTimer()
         for scheme in self._schemes:
             with local_timer.stage(scheme.name):
-                columns.append(scheme.compute(candidates, stats))
+                columns.append(
+                    scheme.compute_with_backend(candidates, stats, backend=self.backend)
+                )
             scheme_seconds[scheme.name] = local_timer.get(scheme.name)
         values = (
             np.hstack(columns)
@@ -117,6 +143,7 @@ class FeatureVectorGenerator:
             columns=self.columns,
             feature_set=self.feature_set,
             scheme_seconds=scheme_seconds,
+            backend=self.backend,
         )
 
 
@@ -126,8 +153,9 @@ def generate_features(
     feature_set: Sequence[str] = ORIGINAL_FEATURE_SET,
     stats: Optional[BlockStatistics] = None,
     timer: Optional[StageTimer] = None,
+    backend: str = "loop",
 ) -> FeatureMatrix:
     """Convenience wrapper: build statistics (if needed) and the feature matrix."""
     statistics = stats if stats is not None else BlockStatistics(blocks)
-    generator = FeatureVectorGenerator(feature_set)
+    generator = FeatureVectorGenerator(feature_set, backend=backend)
     return generator.generate(candidates, statistics, timer=timer)

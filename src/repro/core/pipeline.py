@@ -90,6 +90,9 @@ class GeneralizedSupervisedMetaBlocking:
         Positive fraction for the proportional policy.
     seed:
         Master seed for training-set sampling.
+    backend:
+        Feature-generation backend, ``"loop"`` (reference) or ``"sparse"``
+        (vectorized); see :mod:`repro.weights.sparse`.
     """
 
     def __init__(
@@ -102,8 +105,9 @@ class GeneralizedSupervisedMetaBlocking:
         training_policy: str = "balanced",
         positive_fraction: float = 0.05,
         seed: SeedLike = 0,
+        backend: str = "loop",
     ) -> None:
-        self.feature_generator = FeatureVectorGenerator(feature_set)
+        self.feature_generator = FeatureVectorGenerator(feature_set, backend=backend)
         self.pruning = (
             get_pruning_algorithm(pruning) if isinstance(pruning, str) else pruning
         )
@@ -118,6 +122,11 @@ class GeneralizedSupervisedMetaBlocking:
     def feature_set(self) -> Sequence[str]:
         """The configured weighting-scheme names."""
         return self.feature_generator.feature_set
+
+    @property
+    def backend(self) -> str:
+        """The configured feature-generation backend."""
+        return self.feature_generator.backend
 
     # -- main entry points -----------------------------------------------------------
     def run(

@@ -51,6 +51,9 @@ class ExperimentConfig:
     classifier:
         ``"logistic"`` (default) or ``"svm"`` — the paper reports both give
         nearly identical results.
+    backend:
+        Feature-generation backend, ``"loop"`` (reference) or ``"sparse"``
+        (vectorized); see :mod:`repro.weights.sparse`.
     """
 
     dataset_names: Sequence[str] = field(
@@ -61,6 +64,7 @@ class ExperimentConfig:
     seed: SeedLike = 0
     scale: Optional[float] = None
     classifier: str = "logistic"
+    backend: str = "loop"
 
     def classifier_factory(self) -> Callable:
         """Return the classifier factory matching the configuration."""
@@ -138,6 +142,7 @@ def blast_pipeline(config: ExperimentConfig, training_size: Optional[int] = None
         training_size=training_size or config.training_size,
         classifier_factory=config.classifier_factory(),
         seed=config.seed,
+        backend=config.backend,
     )
 
 
@@ -149,6 +154,7 @@ def rcnp_pipeline(config: ExperimentConfig, training_size: Optional[int] = None)
         training_size=training_size or config.training_size,
         classifier_factory=config.classifier_factory(),
         seed=config.seed,
+        backend=config.backend,
     )
 
 
@@ -166,6 +172,7 @@ def bcl_pipeline(
         training_policy=training_policy,
         classifier_factory=config.classifier_factory(),
         seed=config.seed,
+        backend=config.backend,
     )
 
 
@@ -183,6 +190,7 @@ def cnp_pipeline(
         training_policy=training_policy,
         classifier_factory=config.classifier_factory(),
         seed=config.seed,
+        backend=config.backend,
     )
 
 
@@ -199,4 +207,5 @@ def algorithm_pipeline(
         training_size=training_size or config.training_size,
         classifier_factory=config.classifier_factory(),
         seed=config.seed,
+        backend=config.backend,
     )

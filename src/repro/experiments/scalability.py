@@ -36,6 +36,7 @@ def scalability_pipelines(config: ExperimentConfig) -> Dict[str, GeneralizedSupe
             training_size=50,
             classifier_factory=LogisticRegression,
             seed=config.seed,
+            backend=config.backend,
         ),
         "BCl": GeneralizedSupervisedMetaBlocking(
             feature_set=ORIGINAL_FEATURE_SET,
@@ -43,6 +44,7 @@ def scalability_pipelines(config: ExperimentConfig) -> Dict[str, GeneralizedSupe
             training_policy="proportional",
             classifier_factory=LogisticRegression,
             seed=config.seed,
+            backend=config.backend,
         ),
         "RCNP": GeneralizedSupervisedMetaBlocking(
             feature_set=RCNP_FEATURE_SET,
@@ -50,6 +52,7 @@ def scalability_pipelines(config: ExperimentConfig) -> Dict[str, GeneralizedSupe
             training_size=50,
             classifier_factory=LogisticRegression,
             seed=config.seed,
+            backend=config.backend,
         ),
         "CNP": GeneralizedSupervisedMetaBlocking(
             feature_set=ORIGINAL_FEATURE_SET,
@@ -57,6 +60,7 @@ def scalability_pipelines(config: ExperimentConfig) -> Dict[str, GeneralizedSupe
             training_policy="proportional",
             classifier_factory=LogisticRegression,
             seed=config.seed,
+            backend=config.backend,
         ),
     }
 

@@ -8,6 +8,17 @@ adds EJS, WJS, RS and NRS as new features.
 
 All schemes implement :class:`WeightingScheme`; pair-level schemes produce a
 single feature column, entity-level schemes (LCP) produce two.
+
+Every scheme carries two implementations of the same formula:
+
+* :meth:`WeightingScheme.compute` — the readable per-pair reference loop;
+* :meth:`WeightingScheme.compute_sparse` — the vectorized backend, combining
+  the batched co-occurrence aggregates of
+  :meth:`repro.weights.statistics.BlockStatistics.pair_cooccurrence` with
+  per-entity arrays in plain NumPy arithmetic.
+
+:meth:`WeightingScheme.compute_with_backend` dispatches between them; the
+equivalence tests assert both produce ``np.allclose``-identical matrices.
 """
 
 from __future__ import annotations
@@ -19,6 +30,7 @@ from typing import Dict, FrozenSet, List, Sequence, Tuple
 import numpy as np
 
 from ..datamodel import CandidateSet
+from .sparse import resolve_backend, safe_log_ratio_array
 from .statistics import BlockStatistics
 
 
@@ -33,6 +45,21 @@ class WeightingScheme(ABC):
     @abstractmethod
     def compute(self, candidates: CandidateSet, stats: BlockStatistics) -> np.ndarray:
         """Return an ``(n_pairs, width)`` array of feature values."""
+
+    @abstractmethod
+    def compute_sparse(self, candidates: CandidateSet, stats: BlockStatistics) -> np.ndarray:
+        """Vectorized counterpart of :meth:`compute` (same shape and values)."""
+
+    def compute_with_backend(
+        self,
+        candidates: CandidateSet,
+        stats: BlockStatistics,
+        backend: str = "loop",
+    ) -> np.ndarray:
+        """Dispatch to the requested backend (``"loop"`` or ``"sparse"``)."""
+        if resolve_backend(backend) == "sparse":
+            return self.compute_sparse(candidates, stats)
+        return self.compute(candidates, stats)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return self.name
@@ -64,6 +91,9 @@ class CommonBlocksScheme(WeightingScheme):
             values[position, 0] = stats.common_block_count(int(i), int(j))
         return values
 
+    def compute_sparse(self, candidates: CandidateSet, stats: BlockStatistics) -> np.ndarray:
+        return stats.pair_cooccurrence(candidates).common.reshape(-1, 1).copy()
+
 
 class CFIBFScheme(WeightingScheme):
     """CF-IBF — Co-occurrence Frequency–Inverse Block Frequency.
@@ -87,6 +117,13 @@ class CFIBFScheme(WeightingScheme):
             values[position, 0] = common * ibf_i * ibf_j
         return values
 
+    def compute_sparse(self, candidates: CandidateSet, stats: BlockStatistics) -> np.ndarray:
+        common = stats.pair_cooccurrence(candidates).common
+        total_blocks = float(stats.num_blocks)
+        ibf_left = safe_log_ratio_array(total_blocks, stats.blocks_per_entity[candidates.left])
+        ibf_right = safe_log_ratio_array(total_blocks, stats.blocks_per_entity[candidates.right])
+        return (common * ibf_left * ibf_right).reshape(-1, 1)
+
 
 class RACCBScheme(WeightingScheme):
     """RACCB — Reciprocal Aggregate Cardinality of Common Blocks.
@@ -104,6 +141,10 @@ class RACCBScheme(WeightingScheme):
             common = stats.common_blocks(int(i), int(j))
             values[position, 0] = stats.sum_inverse_cardinality(common)
         return values
+
+    def compute_sparse(self, candidates: CandidateSet, stats: BlockStatistics) -> np.ndarray:
+        aggregates = stats.pair_cooccurrence(candidates)
+        return aggregates.sum_inverse_cardinality.reshape(-1, 1).copy()
 
 
 class JaccardScheme(WeightingScheme):
@@ -125,6 +166,18 @@ class JaccardScheme(WeightingScheme):
             if union > 0:
                 values[position, 0] = common / union
         return values
+
+    def compute_sparse(self, candidates: CandidateSet, stats: BlockStatistics) -> np.ndarray:
+        common = stats.pair_cooccurrence(candidates).common
+        union = (
+            stats.blocks_per_entity[candidates.left]
+            + stats.blocks_per_entity[candidates.right]
+            - common
+        )
+        values = np.zeros(common.shape, dtype=np.float64)
+        defined = (common > 0) & (union > 0)
+        values[defined] = common[defined] / union[defined]
+        return values.reshape(-1, 1)
 
 
 class EnhancedJaccardScheme(WeightingScheme):
@@ -148,6 +201,13 @@ class EnhancedJaccardScheme(WeightingScheme):
             factor_j = _safe_log_ratio(total, stats.entity_cardinality[j])
             values[position, 0] = jaccard[position] * factor_i * factor_j
         return values
+
+    def compute_sparse(self, candidates: CandidateSet, stats: BlockStatistics) -> np.ndarray:
+        jaccard = JaccardScheme().compute_sparse(candidates, stats)[:, 0]
+        total = stats.total_cardinality
+        factor_left = safe_log_ratio_array(total, stats.entity_cardinality[candidates.left])
+        factor_right = safe_log_ratio_array(total, stats.entity_cardinality[candidates.right])
+        return (jaccard * factor_left * factor_right).reshape(-1, 1)
 
 
 class WeightedJaccardScheme(WeightingScheme):
@@ -176,6 +236,19 @@ class WeightedJaccardScheme(WeightingScheme):
                 values[position, 0] = shared / denominator
         return values
 
+    def compute_sparse(self, candidates: CandidateSet, stats: BlockStatistics) -> np.ndarray:
+        aggregates = stats.pair_cooccurrence(candidates)
+        shared = aggregates.sum_inverse_cardinality
+        denominator = (
+            stats.entity_inv_cardinality[candidates.left]
+            + stats.entity_inv_cardinality[candidates.right]
+            - shared
+        )
+        values = np.zeros(shared.shape, dtype=np.float64)
+        defined = (aggregates.common > 0) & (denominator > 0)
+        values[defined] = shared[defined] / denominator[defined]
+        return values.reshape(-1, 1)
+
 
 class ReciprocalSizesScheme(WeightingScheme):
     """RS — like RACCB but over entity counts instead of comparison counts.
@@ -191,6 +264,9 @@ class ReciprocalSizesScheme(WeightingScheme):
             common = stats.common_blocks(int(i), int(j))
             values[position, 0] = stats.sum_inverse_size(common)
         return values
+
+    def compute_sparse(self, candidates: CandidateSet, stats: BlockStatistics) -> np.ndarray:
+        return stats.pair_cooccurrence(candidates).sum_inverse_size.reshape(-1, 1).copy()
 
 
 class NormalizedReciprocalSizesScheme(WeightingScheme):
@@ -216,6 +292,19 @@ class NormalizedReciprocalSizesScheme(WeightingScheme):
                 values[position, 0] = shared / denominator
         return values
 
+    def compute_sparse(self, candidates: CandidateSet, stats: BlockStatistics) -> np.ndarray:
+        aggregates = stats.pair_cooccurrence(candidates)
+        shared = aggregates.sum_inverse_size
+        denominator = (
+            stats.entity_inv_size[candidates.left]
+            + stats.entity_inv_size[candidates.right]
+            - shared
+        )
+        values = np.zeros(shared.shape, dtype=np.float64)
+        defined = (aggregates.common > 0) & (denominator > 0)
+        values[defined] = shared[defined] / denominator[defined]
+        return values.reshape(-1, 1)
+
 
 class LocalCandidatesScheme(WeightingScheme):
     """LCP — the number of distinct candidates of each constituent entity.
@@ -232,6 +321,13 @@ class LocalCandidatesScheme(WeightingScheme):
 
     def compute(self, candidates: CandidateSet, stats: BlockStatistics) -> np.ndarray:
         counts = stats.local_candidate_counts()
+        values = np.zeros((len(candidates), 2), dtype=np.float64)
+        values[:, 0] = counts[candidates.left]
+        values[:, 1] = counts[candidates.right]
+        return values
+
+    def compute_sparse(self, candidates: CandidateSet, stats: BlockStatistics) -> np.ndarray:
+        counts = stats.local_candidate_counts_sparse()
         values = np.zeros((len(candidates), 2), dtype=np.float64)
         values[:, 0] = counts[candidates.left]
         values[:, 1] = counts[candidates.right]

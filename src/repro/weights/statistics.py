@@ -16,11 +16,19 @@ intersections, the irreducible part of the cost.
 
 from __future__ import annotations
 
+import weakref
 from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
 import numpy as np
 
 from ..datamodel import BlockCollection, CandidateSet
+from .sparse import (
+    EntityBlockCSR,
+    PairCooccurrence,
+    build_entity_block_csr,
+    compute_pair_cooccurrence,
+    sparse_local_candidate_counts,
+)
 
 
 class BlockStatistics:
@@ -44,6 +52,10 @@ class BlockStatistics:
             [block.cardinality() for block in blocks], dtype=np.float64
         )
         self.total_cardinality = float(self.block_cardinalities.sum())
+        # per-block inverse weights shared by both feature backends (the
+        # max(..., 1) guard mirrors sum_inverse_cardinality/sum_inverse_size)
+        self.inverse_block_cardinalities = 1.0 / np.maximum(self.block_cardinalities, 1.0)
+        self.inverse_block_sizes = 1.0 / np.maximum(self.block_sizes, 1.0)
 
         # per-entity block memberships as frozensets for fast intersections
         membership: Dict[int, Set[int]] = {}
@@ -72,6 +84,38 @@ class BlockStatistics:
                 )
 
         self._lcp: Optional[np.ndarray] = None
+        self._lcp_sparse: Optional[np.ndarray] = None
+        self._csr: Optional[EntityBlockCSR] = None
+        self._pair_cache: Optional[Tuple[weakref.ref, PairCooccurrence]] = None
+
+    # -- sparse backend --------------------------------------------------------
+    def csr(self) -> EntityBlockCSR:
+        """The entity x block incidence structure (built lazily, cached)."""
+        if self._csr is None:
+            self._csr = build_entity_block_csr(self.blocks)
+        return self._csr
+
+    def pair_cooccurrence(self, candidates: CandidateSet) -> PairCooccurrence:
+        """Batched co-occurrence aggregates for every pair of ``candidates``.
+
+        The result is cached per candidate set (weakly referenced), so all
+        schemes of one feature-matrix generation — and repeated generations
+        over the same candidates, as in the feature-selection sweeps — share
+        a single intersection pass.
+        """
+        if self._pair_cache is not None:
+            ref, cached = self._pair_cache
+            if ref() is candidates:
+                return cached
+        result = compute_pair_cooccurrence(
+            self.csr(),
+            self.inverse_block_cardinalities,
+            self.inverse_block_sizes,
+            candidates.left,
+            candidates.right,
+        )
+        self._pair_cache = (weakref.ref(candidates), result)
+        return result
 
     # -- memberships -----------------------------------------------------------
     def blocks_of(self, node: int) -> FrozenSet[int]:
@@ -134,6 +178,17 @@ class BlockStatistics:
                 counts[node] = len(candidate_set)
             self._lcp = counts
         return self._lcp
+
+    def local_candidate_counts_sparse(self) -> np.ndarray:
+        """Vectorized counterpart of :meth:`local_candidate_counts`.
+
+        Kept as an independent computation (own cache) so the equivalence
+        tests genuinely compare the two formulations rather than a shared
+        memoised result.
+        """
+        if self._lcp_sparse is None:
+            self._lcp_sparse = sparse_local_candidate_counts(self.blocks)
+        return self._lcp_sparse
 
     # -- summaries ----------------------------------------------------------------
     def describe(self) -> Dict[str, float]:

@@ -39,6 +39,24 @@ class TestFeatureVectorGenerator:
         selected = matrix.select(np.array([0, 1]))
         assert selected.shape == (2, 2)
 
+    def test_column_index_unknown_label_raises_key_error(self, small_candidates, small_stats):
+        matrix = FeatureVectorGenerator(("JS", "LCP")).generate(small_candidates, small_stats)
+        with pytest.raises(KeyError) as excinfo:
+            matrix.column_index("CF-IBF")
+        message = str(excinfo.value)
+        assert "CF-IBF" in message
+        for column in ("'JS'", "'LCP(e_i)'", "'LCP(e_j)'"):
+            assert column in message
+
+    def test_backend_recorded_on_matrix(self, small_candidates, small_stats):
+        loop = FeatureVectorGenerator(("JS",)).generate(small_candidates, small_stats)
+        sparse = FeatureVectorGenerator(("JS",), backend="sparse").generate(
+            small_candidates, small_stats
+        )
+        assert loop.backend == "loop"
+        assert sparse.backend == "sparse"
+        np.testing.assert_allclose(sparse.values, loop.values)
+
     def test_empty_feature_set_rejected(self):
         with pytest.raises(ValueError):
             FeatureVectorGenerator(())

@@ -1,0 +1,203 @@
+"""Backend-equivalence property tests (loop oracle vs sparse backend).
+
+The loop implementations of the weighting schemes are the reference oracle;
+the vectorized sparse backend must reproduce them bit-for-bit up to float
+summation order.  Hypothesis generates randomized unilateral and bilateral
+block collections — including empty blocks, singleton entities, and entities
+absent from every block — and every registered scheme is asserted
+``np.allclose``-identical across backends, both per scheme and through the
+full :class:`FeatureVectorGenerator` stack.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import FeatureVectorGenerator, generate_features
+from repro.datamodel import Block, BlockCollection, CandidateSet, EntityIndexSpace
+from repro.weights import (
+    BACKENDS,
+    PAPER_FEATURES,
+    SCHEME_CLASSES,
+    BlockStatistics,
+    resolve_backend,
+)
+
+ALL_SCHEMES = tuple(SCHEME_CLASSES)
+
+#: absolute/relative tolerances: the two backends sum the same terms in a
+#: different order, so only accumulation noise is allowed.
+TOLERANCES = dict(rtol=1e-9, atol=1e-12)
+
+
+# -- strategies -----------------------------------------------------------------------
+
+@st.composite
+def unilateral_collections(draw):
+    """Random Dirty ER block collections plus a candidate set.
+
+    The node space is drawn larger than the ids actually used, so some
+    entities are absent from every block; blocks may be empty or singletons
+    (spawning no comparison), which the loop backend tolerates and the sparse
+    backend must too.
+    """
+    total = draw(st.integers(min_value=2, max_value=14))
+    space = EntityIndexSpace(total, 0)
+    n_blocks = draw(st.integers(min_value=0, max_value=8))
+    blocks = []
+    for index in range(n_blocks):
+        members = draw(
+            st.lists(st.integers(0, total - 1), min_size=0, max_size=total, unique=True)
+        )
+        blocks.append(Block(f"b{index}", sorted(members)))
+    collection = BlockCollection(blocks, space)
+    candidates = _draw_candidates(draw, collection)
+    return collection, candidates
+
+
+@st.composite
+def bilateral_collections(draw):
+    """Random Clean-Clean ER block collections plus a candidate set."""
+    size_first = draw(st.integers(min_value=1, max_value=7))
+    size_second = draw(st.integers(min_value=1, max_value=7))
+    space = EntityIndexSpace(size_first, size_second)
+    n_blocks = draw(st.integers(min_value=0, max_value=8))
+    blocks = []
+    for index in range(n_blocks):
+        first = draw(
+            st.lists(
+                st.integers(0, size_first - 1),
+                min_size=0,
+                max_size=size_first,
+                unique=True,
+            )
+        )
+        second = draw(
+            st.lists(
+                st.integers(size_first, size_first + size_second - 1),
+                min_size=0,
+                max_size=size_second,
+                unique=True,
+            )
+        )
+        blocks.append(Block(f"b{index}", sorted(first), sorted(second)))
+    collection = BlockCollection(blocks, space)
+    candidates = _draw_candidates(draw, collection)
+    return collection, candidates
+
+
+def _draw_candidates(draw, collection: BlockCollection) -> CandidateSet:
+    """The collection's distinct pairs plus random extra (non-co-occurring) pairs."""
+    pairs = set(CandidateSet.from_blocks(collection).as_tuples())
+    total = collection.index_space.total
+    if total >= 2:
+        extra = draw(
+            st.lists(
+                st.tuples(st.integers(0, total - 1), st.integers(0, total - 1)),
+                min_size=0,
+                max_size=6,
+            )
+        )
+        for i, j in extra:
+            if i != j:
+                pairs.add((i, j) if i < j else (j, i))
+    return CandidateSet.from_pairs(pairs, collection.index_space)
+
+
+# -- per-scheme equivalence -----------------------------------------------------------
+
+@pytest.mark.parametrize("scheme_name", ALL_SCHEMES)
+@given(data=unilateral_collections())
+@settings(max_examples=40, deadline=None)
+def test_unilateral_equivalence(scheme_name, data):
+    blocks, candidates = data
+    stats = BlockStatistics(blocks)
+    scheme = SCHEME_CLASSES[scheme_name]()
+    loop = scheme.compute(candidates, stats)
+    sparse = scheme.compute_sparse(candidates, stats)
+    assert loop.shape == sparse.shape == (len(candidates), scheme.width)
+    np.testing.assert_allclose(sparse, loop, **TOLERANCES)
+
+
+@pytest.mark.parametrize("scheme_name", ALL_SCHEMES)
+@given(data=bilateral_collections())
+@settings(max_examples=40, deadline=None)
+def test_bilateral_equivalence(scheme_name, data):
+    blocks, candidates = data
+    stats = BlockStatistics(blocks)
+    scheme = SCHEME_CLASSES[scheme_name]()
+    loop = scheme.compute(candidates, stats)
+    sparse = scheme.compute_sparse(candidates, stats)
+    assert loop.shape == sparse.shape == (len(candidates), scheme.width)
+    np.testing.assert_allclose(sparse, loop, **TOLERANCES)
+
+
+# -- full-stack equivalence -----------------------------------------------------------
+
+@given(data=bilateral_collections())
+@settings(max_examples=25, deadline=None)
+def test_full_feature_matrix_equivalence(data):
+    """The whole generator stack produces identical matrices per backend."""
+    blocks, candidates = data
+    stats = BlockStatistics(blocks)
+    feature_set = ("CBS",) + PAPER_FEATURES
+    loop = FeatureVectorGenerator(feature_set, backend="loop").generate(candidates, stats)
+    sparse = FeatureVectorGenerator(feature_set, backend="sparse").generate(candidates, stats)
+    assert loop.columns == sparse.columns
+    assert loop.backend == "loop" and sparse.backend == "sparse"
+    np.testing.assert_allclose(sparse.values, loop.values, **TOLERANCES)
+
+
+@given(data=unilateral_collections())
+@settings(max_examples=25, deadline=None)
+def test_generate_features_backend_equivalence(data):
+    """The convenience wrapper honours the backend switch."""
+    blocks, candidates = data
+    loop = generate_features(candidates, blocks, feature_set=PAPER_FEATURES)
+    sparse = generate_features(
+        candidates, blocks, feature_set=PAPER_FEATURES, backend="sparse"
+    )
+    np.testing.assert_allclose(sparse.values, loop.values, **TOLERANCES)
+
+
+# -- deterministic edge cases ---------------------------------------------------------
+
+@pytest.mark.parametrize("scheme_name", ALL_SCHEMES)
+def test_empty_collection_equivalence(scheme_name):
+    """No blocks, no candidates: both backends return empty matrices."""
+    blocks = BlockCollection([], EntityIndexSpace(4, 0))
+    candidates = CandidateSet.from_pairs([], blocks.index_space)
+    stats = BlockStatistics(blocks)
+    scheme = SCHEME_CLASSES[scheme_name]()
+    loop = scheme.compute(candidates, stats)
+    sparse = scheme.compute_sparse(candidates, stats)
+    assert loop.shape == sparse.shape == (0, scheme.width)
+
+
+@pytest.mark.parametrize("scheme_name", ALL_SCHEMES)
+def test_absent_entities_equivalence(scheme_name):
+    """Pairs whose entities appear in no block score zero on both backends."""
+    space = EntityIndexSpace(8, 0)
+    blocks = BlockCollection(
+        [Block("a", [0, 1, 2]), Block("empty", []), Block("singleton", [5])], space
+    )
+    candidates = CandidateSet.from_pairs([(0, 1), (3, 4), (5, 6), (6, 7)], space)
+    stats = BlockStatistics(blocks)
+    scheme = SCHEME_CLASSES[scheme_name]()
+    np.testing.assert_allclose(
+        scheme.compute_sparse(candidates, stats),
+        scheme.compute(candidates, stats),
+        **TOLERANCES,
+    )
+
+
+def test_resolve_backend_rejects_unknown_names():
+    with pytest.raises(ValueError, match="unknown feature backend"):
+        resolve_backend("gpu")
+    assert [resolve_backend(name) for name in BACKENDS] == list(BACKENDS)
+
+
+def test_generator_rejects_unknown_backend():
+    with pytest.raises(ValueError, match="unknown feature backend"):
+        FeatureVectorGenerator(("JS",), backend="fancy")
