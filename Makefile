@@ -4,12 +4,13 @@
 #   make test-equivalence  - backend-equivalence + golden regression tests only
 #   make test-fast         - tier-1 suite without the perf smoke tests
 #   make bench-smoke       - quick feature-runtime bench incl. backend speedup
+#   make bench-stream      - incremental streaming vs batch recompute bench
 #   make bench             - the full pytest-benchmark harness
 
 PYTHON ?= python
 PYTEST  = PYTHONPATH=src $(PYTHON) -m pytest
 
-.PHONY: test test-equivalence test-fast bench-smoke bench
+.PHONY: test test-equivalence test-fast bench-smoke bench-stream bench
 
 test:
 	$(PYTEST) -x -q
@@ -22,6 +23,9 @@ test-fast:
 
 bench-smoke:
 	$(PYTEST) -q benchmarks/bench_fig7_fig9_feature_runtime.py
+
+bench-stream:
+	$(PYTEST) -q benchmarks/bench_incremental_vs_batch.py
 
 bench:
 	$(PYTEST) -q benchmarks/ -o python_files='bench_*.py' --benchmark-only

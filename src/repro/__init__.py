@@ -12,6 +12,8 @@ PVLDB 2022) from the ground up:
 * the supervised pruning algorithms and the end-to-end pipeline — the paper's
   contribution (:mod:`repro.core`);
 * unsupervised meta-blocking baselines (:mod:`repro.metablocking`);
+* an incremental streaming execution mode — online entity insertion against
+  a frozen batch-trained classifier (:mod:`repro.incremental`);
 * dataset substrates mirroring the paper's benchmarks (:mod:`repro.datasets`);
 * evaluation and experiment harnesses regenerating every table and figure
   (:mod:`repro.evaluation`, :mod:`repro.experiments`).
@@ -77,6 +79,12 @@ from .evaluation import (
     evaluate_result,
     evaluate_retained_mask,
 )
+from .incremental import (
+    DeltaFeatureGenerator,
+    FrozenModel,
+    MatchingSession,
+    MutableBlockIndex,
+)
 from .ml import GaussianNB, LinearSVC, LogisticRegression
 from .weights import (
     BLAST_FEATURE_SET,
@@ -86,7 +94,7 @@ from .weights import (
     RCNP_FEATURE_SET,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "BLAST_FEATURE_SET",
@@ -96,17 +104,21 @@ __all__ = [
     "BlockStatistics",
     "CandidatePair",
     "CandidateSet",
+    "DeltaFeatureGenerator",
     "EffectivenessReport",
     "EntityCollection",
     "EntityIndexSpace",
     "EntityProfile",
     "FeatureVectorGenerator",
+    "FrozenModel",
     "GaussianNB",
     "GeneralizedSupervisedMetaBlocking",
     "GroundTruth",
     "LinearSVC",
     "LogisticRegression",
+    "MatchingSession",
     "MetaBlockingResult",
+    "MutableBlockIndex",
     "ORIGINAL_FEATURE_SET",
     "PAPER_FEATURES",
     "QGramsBlocking",

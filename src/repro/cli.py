@@ -6,6 +6,7 @@ Usage::
     python -m repro run table2                 # regenerate one table/figure
     python -m repro run fig5 --datasets AbtBuy DblpAcm --repetitions 2
     python -m repro quickstart                 # run the quickstart pipeline
+    python -m repro stream --dataset DblpAcm   # incremental streaming session
 
 Every ``run`` command prints the same rows/series the paper reports for that
 experiment (the benches in ``benchmarks/`` are the pytest-integrated variant
@@ -18,7 +19,9 @@ import argparse
 import sys
 from typing import Callable, Dict, List, Optional, Sequence
 
+from . import __version__
 from . import experiments as ex
+from .core.pruning import PRUNING_ALGORITHMS
 from .datasets import CLEAN_CLEAN_ORDER
 from .weights import BACKENDS
 
@@ -162,11 +165,87 @@ def _run_quickstart(args: argparse.Namespace) -> str:
     )
 
 
+def _run_stream(args: argparse.Namespace, parser: argparse.ArgumentParser) -> str:
+    from .datasets import load_benchmark, load_clean_clean_directory
+    from .incremental import (
+        StreamTrainingError,
+        evaluate_retained_ids,
+        ground_truth_id_pairs,
+        replay_stream,
+        train_frozen_model,
+    )
+
+    if not 0.0 < args.bootstrap <= 1.0:
+        parser.error("--bootstrap must be a fraction in (0, 1]")
+    if args.top_k < 1:
+        parser.error("--top-k must be at least 1")
+
+    if args.dataset_dir is not None:
+        try:
+            dataset = load_clean_clean_directory(args.dataset_dir)
+        except FileNotFoundError as error:
+            if "ground-truth" in str(error):
+                parser.error(
+                    "repro stream needs labelled duplicates to train its frozen "
+                    f"classifier, but the dataset has no ground truth: {error}"
+                )
+            parser.error(f"cannot load the dataset directory: {error}")
+    else:
+        dataset = load_benchmark(args.dataset, seed=args.seed, scale=args.scale)
+
+    try:
+        model = train_frozen_model(
+            dataset,
+            bootstrap_fraction=args.bootstrap,
+            pruning=args.pruning,
+            training_size=args.training_size,
+            seed=args.seed,
+            backend=args.backend,
+        )
+    except StreamTrainingError as error:
+        parser.error(str(error))
+
+    replay = replay_stream(
+        dataset,
+        model,
+        pruning=args.pruning,
+        online=args.online,
+        top_k=args.top_k,
+        limit=args.limit,
+    )
+    final = replay.session.retained()
+    truth = ground_truth_id_pairs(dataset.ground_truth, dataset.first, dataset.second)
+    if args.limit is not None:
+        # only judge recall on duplicates whose entities were both streamed
+        index = replay.session.index
+        truth = {
+            (a, b)
+            for a, b in truth
+            if index.has_entity(a, 0) and index.has_entity(b, 1)
+        }
+    recall, precision = evaluate_retained_ids(final, truth)
+    mean, p50, p95 = replay.latency_percentiles()
+    return (
+        f"{dataset.name}: streamed {replay.num_inserts} entities "
+        f"({replay.session.num_pairs} candidate pairs)\n"
+        f"  per-insert latency: mean={mean * 1e3:.3f}ms p50={p50 * 1e3:.3f}ms "
+        f"p95={p95 * 1e3:.3f}ms  throughput={replay.throughput:,.0f} inserts/s\n"
+        f"  online matches reported: {int(replay.online_matches.sum())} "
+        f"(policy {replay.session.online.name}, threshold "
+        f"{replay.session.online.threshold:.3f})\n"
+        f"  final {args.pruning} answer: {final.retained_count} pairs retained, "
+        f"recall={recall:.3f} precision={precision:.3f}"
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the top-level argument parser."""
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Generalized Supervised Meta-blocking — reproduction CLI",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
@@ -187,8 +266,9 @@ def build_parser() -> argparse.ArgumentParser:
         sub.add_argument(
             "--backend",
             choices=list(BACKENDS),
-            default="loop",
-            help="feature-generation backend: 'loop' (reference) or 'sparse' (vectorized)",
+            default="sparse",
+            help="feature-generation backend: 'sparse' (vectorized, default) "
+            "or 'loop' (the per-pair reference oracle)",
         )
 
     run_parser = subparsers.add_parser("run", help="regenerate one table/figure")
@@ -197,6 +277,61 @@ def build_parser() -> argparse.ArgumentParser:
 
     quickstart_parser = subparsers.add_parser("quickstart", help="run the quickstart pipeline")
     add_common(quickstart_parser)
+
+    stream_parser = subparsers.add_parser(
+        "stream",
+        help="insert entities one at a time through the incremental "
+        "meta-blocking session (repro.incremental)",
+    )
+    stream_parser.add_argument(
+        "--dataset",
+        default="DblpAcm",
+        choices=CLEAN_CLEAN_ORDER,
+        help="generated Clean-Clean benchmark to stream",
+    )
+    stream_parser.add_argument(
+        "--dataset-dir",
+        default=None,
+        help="stream a CSV dataset directory (first.csv, second.csv, "
+        "ground_truth.csv) instead of a generated benchmark",
+    )
+    stream_parser.add_argument(
+        "--bootstrap",
+        type=float,
+        default=0.5,
+        help="fraction of each collection used to train the frozen classifier",
+    )
+    stream_parser.add_argument(
+        "--pruning",
+        default="BLAST",
+        choices=sorted(PRUNING_ALGORITHMS),
+        help="batch pruning algorithm applied by the exact finalisation",
+    )
+    stream_parser.add_argument(
+        "--online",
+        default="wep",
+        choices=("wep", "topk"),
+        help="per-insert online policy: running WEP average or top-K queue",
+    )
+    stream_parser.add_argument(
+        "--top-k", type=int, default=1000, dest="top_k",
+        help="retention budget for the 'topk' online policy",
+    )
+    stream_parser.add_argument(
+        "--limit", type=int, default=None, help="cap the number of streamed inserts"
+    )
+    stream_parser.add_argument(
+        "--scale", type=float, default=None,
+        help="scale factor for the generated benchmark (smaller = faster)",
+    )
+    stream_parser.add_argument("--training-size", type=int, default=50, dest="training_size")
+    stream_parser.add_argument("--seed", type=int, default=0)
+    stream_parser.add_argument(
+        "--backend",
+        choices=list(BACKENDS),
+        default="sparse",
+        help="feature backend used while training the frozen classifier",
+    )
     return parser
 
 
@@ -212,6 +347,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return 0
     if args.command == "quickstart":
         print(_run_quickstart(args))
+        return 0
+    if args.command == "stream":
+        print(_run_stream(args, parser))
         return 0
     if args.command == "run":
         print(EXPERIMENTS[args.experiment](args))

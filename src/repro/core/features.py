@@ -94,6 +94,11 @@ class FeatureVectorGenerator:
         self._schemes = get_schemes(names)
 
     @property
+    def schemes(self) -> Tuple:
+        """The instantiated weighting-scheme objects, in feature-set order."""
+        return tuple(self._schemes)
+
+    @property
     def columns(self) -> Tuple[str, ...]:
         """Column labels of the matrices this generator produces."""
         labels: List[str] = []

@@ -17,7 +17,7 @@ the paper's RT measure (feature generation + training + scoring + pruning).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Optional, Sequence, Union
+from typing import Callable, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -54,6 +54,12 @@ class MetaBlockingResult:
     feature_matrix: Optional[FeatureMatrix] = None
     #: the input candidate pairs
     candidates: Optional[CandidateSet] = None
+    #: the fitted classifier (frozen-model source for streaming sessions)
+    classifier: Optional[ProbabilisticClassifier] = None
+    #: the scaler the classifier was trained behind (None when unscaled)
+    scaler: Optional[StandardScaler] = None
+    #: the weighting-scheme names the classifier was trained on
+    feature_set: Tuple[str, ...] = ()
 
     @property
     def retained_count(self) -> int:
@@ -91,8 +97,9 @@ class GeneralizedSupervisedMetaBlocking:
     seed:
         Master seed for training-set sampling.
     backend:
-        Feature-generation backend, ``"loop"`` (reference) or ``"sparse"``
-        (vectorized); see :mod:`repro.weights.sparse`.
+        Feature-generation backend, ``"sparse"`` (vectorized, the default)
+        or ``"loop"`` (the per-pair reference oracle); see
+        :mod:`repro.weights.sparse`.
     """
 
     def __init__(
@@ -105,7 +112,7 @@ class GeneralizedSupervisedMetaBlocking:
         training_policy: str = "balanced",
         positive_fraction: float = 0.05,
         seed: SeedLike = 0,
-        backend: str = "loop",
+        backend: str = "sparse",
     ) -> None:
         self.feature_generator = FeatureVectorGenerator(feature_set, backend=backend)
         self.pruning = (
@@ -208,6 +215,9 @@ class GeneralizedSupervisedMetaBlocking:
             timer=timer,
             feature_matrix=feature_matrix if keep_features else None,
             candidates=candidates,
+            classifier=classifier,
+            scaler=scaler,
+            feature_set=tuple(self.feature_set),
         )
 
     def run_on_collections(

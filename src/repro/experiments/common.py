@@ -52,8 +52,9 @@ class ExperimentConfig:
         ``"logistic"`` (default) or ``"svm"`` — the paper reports both give
         nearly identical results.
     backend:
-        Feature-generation backend, ``"loop"`` (reference) or ``"sparse"``
-        (vectorized); see :mod:`repro.weights.sparse`.
+        Feature-generation backend, ``"sparse"`` (vectorized, the default)
+        or ``"loop"`` (the per-pair reference oracle); see
+        :mod:`repro.weights.sparse`.
     """
 
     dataset_names: Sequence[str] = field(
@@ -64,7 +65,7 @@ class ExperimentConfig:
     seed: SeedLike = 0
     scale: Optional[float] = None
     classifier: str = "logistic"
-    backend: str = "loop"
+    backend: str = "sparse"
 
     def classifier_factory(self) -> Callable:
         """Return the classifier factory matching the configuration."""

@@ -1,0 +1,60 @@
+"""Incremental streaming meta-blocking.
+
+The batch pipeline (:mod:`repro.core`) recomputes blocking, feature
+generation, scoring and pruning from scratch on every run.  This subsystem
+provides the streaming execution mode: entities are inserted one at a time,
+each insert costs work proportional to its candidate delta, and a frozen
+batch-trained classifier serves online match decisions.
+
+* :class:`MutableBlockIndex` — the incrementally maintained token/block
+  inverted index and entity x block CSR incidence structure;
+* :class:`DeltaFeatureGenerator` — weighting-scheme feature vectors for the
+  candidate delta of an insert, reusing the sparse backend's kernels;
+* :class:`MatchingSession` — the online facade: frozen classifier, per-insert
+  scored matches under running WEP/top-K thresholds, and an exact
+  batch-equivalent :meth:`MatchingSession.retained` finalisation.
+"""
+
+from .delta import DeltaFeatureGenerator
+from .index import IncrementalStatistics, InsertDelta, MutableBlockIndex
+from .session import (
+    FrozenModel,
+    InsertResult,
+    MatchingSession,
+    OnlinePruningPolicy,
+    OnlineTopK,
+    OnlineWEP,
+    SessionResult,
+)
+from .stream import (
+    StreamReplay,
+    StreamTrainingError,
+    evaluate_retained_ids,
+    ground_truth_id_pairs,
+    interleave_profiles,
+    replay_stream,
+    split_bootstrap,
+    train_frozen_model,
+)
+
+__all__ = [
+    "DeltaFeatureGenerator",
+    "FrozenModel",
+    "IncrementalStatistics",
+    "InsertDelta",
+    "InsertResult",
+    "MatchingSession",
+    "MutableBlockIndex",
+    "OnlinePruningPolicy",
+    "OnlineTopK",
+    "OnlineWEP",
+    "SessionResult",
+    "StreamReplay",
+    "StreamTrainingError",
+    "evaluate_retained_ids",
+    "ground_truth_id_pairs",
+    "interleave_profiles",
+    "replay_stream",
+    "split_bootstrap",
+    "train_frozen_model",
+]

@@ -1,0 +1,530 @@
+"""Incrementally maintained block index and co-occurrence statistics.
+
+The batch pipeline flattens a finished :class:`BlockCollection` into the
+entity x block CSR incidence structure once (:mod:`repro.weights.sparse`).
+Streaming workloads cannot afford that: inserting one entity must cost work
+proportional to the blocks it touches, not to the whole collection.
+
+:class:`MutableBlockIndex` is the streaming counterpart.  It maintains, under
+``add_entity`` / ``add_entities``:
+
+* the token -> block inverted index (one block per distinct signature);
+* the entity x block CSR incidence structure — rows are appended in arrival
+  order, per-row block ids sorted, so the batched intersection kernels of
+  :func:`repro.weights.sparse.compute_pair_cooccurrence` apply unchanged;
+* per-block sizes ``|b|``, comparison cardinalities ``||b||`` and their
+  inverse weight vectors;
+* the per-entity aggregates every weighting scheme needs (``|B_i|``,
+  ``||e_i||``, ``Σ 1/||b||``, ``Σ 1/|b|``, LCP degrees), adjusted in place
+  for every entity of a touched block;
+* the distinct candidate-pair registry and the per-insert *delta* (the new
+  pairs the insert introduced).
+
+All aggregates follow the batch conventions: blocks spawning no comparison
+are excluded from ``|B|``, ``|B_i|`` and the inverse sums (they do not exist
+in a batch collection after ``without_empty_blocks``), so a
+:class:`MutableBlockIndex` fed the final data one entity at a time exposes
+exactly the statistics :class:`repro.weights.BlockStatistics` computes on the
+batch block collection.  Block Purging / Block Filtering are *batch-only*
+cleaning steps (their thresholds are global functions of the final
+collection) and are intentionally not replayed here; equivalence is against
+``prepare_blocks(..., apply_purging=False, apply_filtering=False)``.
+
+Per-insert cost is ``O(Σ_{b ∈ tokens(e)} |b|)`` — the size of the touched
+blocks, i.e. the insert's candidate delta — independent of the number of
+entities or pairs already indexed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from ..blocking.base import BlockingMethod
+from ..blocking.token_blocking import TokenBlocking
+from ..datamodel import (
+    Block,
+    BlockCollection,
+    CandidateSet,
+    EntityIndexSpace,
+    EntityProfile,
+)
+from ..weights.sparse import (
+    EntityBlockCSR,
+    PairCooccurrence,
+    PairCooccurrenceCache,
+    compute_pair_cooccurrence,
+)
+
+
+class _Growable:
+    """An append-only NumPy array with amortised O(1) growth.
+
+    ``view()`` returns a zero-copy view of the active prefix; the view is
+    invalidated by the next append that triggers a reallocation, so callers
+    must not hold it across inserts.
+    """
+
+    __slots__ = ("_data", "_size")
+
+    def __init__(self, dtype, capacity: int = 64) -> None:
+        self._data = np.zeros(max(1, capacity), dtype=dtype)
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def _reserve(self, extra: int) -> None:
+        needed = self._size + extra
+        if needed > self._data.size:
+            capacity = self._data.size
+            while capacity < needed:
+                capacity *= 2
+            grown = np.zeros(capacity, dtype=self._data.dtype)
+            grown[: self._size] = self._data[: self._size]
+            self._data = grown
+
+    def append(self, value) -> None:
+        self._reserve(1)
+        self._data[self._size] = value
+        self._size += 1
+
+    def extend(self, values: np.ndarray) -> None:
+        values = np.asarray(values)
+        self._reserve(values.size)
+        self._data[self._size : self._size + values.size] = values
+        self._size += values.size
+
+    def view(self) -> np.ndarray:
+        return self._data[: self._size]
+
+    def __getitem__(self, key):
+        return self.view()[key]
+
+    def __setitem__(self, key, value):
+        self.view()[key] = value
+
+
+@dataclass(frozen=True)
+class InsertDelta:
+    """What one ``add_entity`` changed: the new node and its new pairs."""
+
+    #: node id assigned to the inserted entity
+    node: int
+    #: the inserted entity's identifier
+    entity_id: str
+    #: block ids of the entity's signatures (sorted)
+    block_ids: np.ndarray
+    #: node ids the new entity now co-occurs with (each is one new pair)
+    counterparts: np.ndarray
+    #: positions of the new pairs in the index's global pair registry
+    pair_positions: np.ndarray
+
+    @property
+    def num_new_pairs(self) -> int:
+        """Number of candidate pairs introduced by the insert."""
+        return int(self.counterparts.size)
+
+
+class IncrementalStatistics:
+    """A read-only statistics view over a :class:`MutableBlockIndex`.
+
+    Duck-types the subset of :class:`repro.weights.BlockStatistics` the
+    vectorized (``sparse``) scheme implementations consume, backed by the
+    index's incrementally maintained arrays.  Obtain a fresh view per feature
+    computation (:meth:`MutableBlockIndex.statistics`); views snapshot nothing
+    and always read the index's current state.
+    """
+
+    def __init__(self, index: "MutableBlockIndex") -> None:
+        self._index = index
+        self._pair_cache = PairCooccurrenceCache()
+
+    @property
+    def num_blocks(self) -> int:
+        """``|B|`` — blocks spawning at least one comparison."""
+        return self._index.num_nonempty_blocks
+
+    @property
+    def total_cardinality(self) -> float:
+        """``||B||`` — the total number of comparisons."""
+        return float(self._index.total_cardinality)
+
+    @property
+    def blocks_per_entity(self) -> np.ndarray:
+        """``|B_i|`` per node (comparison-spawning blocks only)."""
+        return self._index._blocks_per_entity.view()
+
+    @property
+    def entity_cardinality(self) -> np.ndarray:
+        """``||e_i||`` — summed cardinality of every node's blocks."""
+        return self._index._entity_cardinality.view()
+
+    @property
+    def entity_inv_cardinality(self) -> np.ndarray:
+        """``Σ_{b∈B_i} 1/||b||`` per node."""
+        return self._index._entity_inv_cardinality.view()
+
+    @property
+    def entity_inv_size(self) -> np.ndarray:
+        """``Σ_{b∈B_i} 1/|b|`` per node."""
+        return self._index._entity_inv_size.view()
+
+    def local_candidate_counts_sparse(self) -> np.ndarray:
+        """``LCP(e_i)`` — maintained as the candidate-pair degree per node."""
+        return self._index._degrees.view()
+
+    # The loop-backend schemes call the non-sparse name; serve the same array.
+    local_candidate_counts = local_candidate_counts_sparse
+
+    def pair_cooccurrence(self, candidates: CandidateSet) -> PairCooccurrence:
+        """Batched co-occurrence aggregates via the sparse intersection kernel.
+
+        Cached per candidate-set object (weakly referenced) so the schemes of
+        one feature computation share a single intersection pass, exactly as
+        :meth:`repro.weights.BlockStatistics.pair_cooccurrence` does.
+        """
+        index = self._index
+        return self._pair_cache.get(
+            candidates,
+            lambda: compute_pair_cooccurrence(
+                index.csr(),
+                index._inverse_block_cardinalities.view(),
+                index._inverse_block_sizes.view(),
+                candidates.left,
+                candidates.right,
+            ),
+        )
+
+
+class MutableBlockIndex:
+    """A token/block inverted index supporting online entity insertion.
+
+    Parameters
+    ----------
+    blocking:
+        The signature extractor (default :class:`TokenBlocking`, as in the
+        paper's evaluation).  Only :meth:`BlockingMethod.signatures_of` is
+        used — index assembly is incremental.
+    bilateral:
+        ``True`` for Clean-Clean ER streams (entities arrive tagged with a
+        source side, only cross-side pairs are candidates); ``False`` for
+        Dirty ER streams (every co-occurring pair is a candidate).
+    name:
+        Label used in snapshots and reports.
+    """
+
+    def __init__(
+        self,
+        blocking: Optional[BlockingMethod] = None,
+        bilateral: bool = False,
+        name: str = "stream",
+    ) -> None:
+        self.blocking = blocking if blocking is not None else TokenBlocking()
+        self.bilateral = bilateral
+        self.name = name
+
+        # token -> block id
+        self._block_ids: Dict[str, int] = {}
+        self._block_keys: List[str] = []
+        # per-block membership (node ids, in arrival order)
+        self._members_first: List[List[int]] = []
+        self._members_second: List[List[int]] = []
+        # per-block aggregates
+        self._block_sizes = _Growable(np.int64)
+        self._block_cardinalities = _Growable(np.int64)
+        self._inverse_block_cardinalities = _Growable(np.float64)
+        self._inverse_block_sizes = _Growable(np.float64)
+
+        # entity registry; ids are namespaced per side — Clean-Clean sources
+        # commonly number their entities independently
+        self._entity_ids: List[str] = []
+        self._node_of_id: Dict[Tuple[int, str], int] = {}
+        self._sides = _Growable(np.int8)
+        self._side_counts = [0, 0]
+
+        # entity x block CSR (rows in arrival order, sorted ids per row)
+        self._indptr = _Growable(np.int64, capacity=256)
+        self._indptr.append(0)
+        self._indices = _Growable(np.int64, capacity=1024)
+
+        # per-entity aggregates (over comparison-spawning blocks)
+        self._blocks_per_entity = _Growable(np.float64, capacity=256)
+        self._entity_cardinality = _Growable(np.float64, capacity=256)
+        self._entity_inv_cardinality = _Growable(np.float64, capacity=256)
+        self._entity_inv_size = _Growable(np.float64, capacity=256)
+        self._degrees = _Growable(np.float64, capacity=256)
+
+        # candidate-pair registry (canonical: left < right by construction)
+        self._pair_left = _Growable(np.int64, capacity=1024)
+        self._pair_right = _Growable(np.int64, capacity=1024)
+
+        # global aggregates
+        self.total_cardinality: int = 0
+        self.num_nonempty_blocks: int = 0
+        self.total_block_assignments: int = 0
+
+    # -- container protocol ----------------------------------------------------
+    @property
+    def num_entities(self) -> int:
+        """Number of inserted entities (= node ids)."""
+        return len(self._entity_ids)
+
+    @property
+    def num_blocks(self) -> int:
+        """Number of blocks, including those spawning no comparison yet."""
+        return len(self._block_keys)
+
+    @property
+    def num_pairs(self) -> int:
+        """Number of distinct candidate pairs registered so far."""
+        return len(self._pair_left)
+
+    def __len__(self) -> int:
+        return self.num_entities
+
+    def entity_id(self, node: int) -> str:
+        """The identifier of the entity holding node id ``node``."""
+        return self._entity_ids[node]
+
+    def side_of(self, node: int) -> int:
+        """0 for first-collection nodes, 1 for second-collection nodes."""
+        return int(self._sides[node])
+
+    def sides(self) -> np.ndarray:
+        """Per-node side flags (0 = first collection, 1 = second)."""
+        return self._sides.view()
+
+    def node_of(self, entity_id: str, side: int = 0) -> int:
+        """The node id assigned to ``entity_id`` on ``side``."""
+        return self._node_of_id[(side, entity_id)]
+
+    def has_entity(self, entity_id: str, side: int = 0) -> bool:
+        """Whether ``entity_id`` was inserted on ``side``."""
+        return (side, entity_id) in self._node_of_id
+
+    def index_space(self) -> EntityIndexSpace:
+        """An index space with the correct per-side totals.
+
+        Streaming assigns node ids in arrival order (sides may interleave),
+        so only the *totals* of the returned space are meaningful — not the
+        contiguous first/second ranges batch spaces guarantee.
+        """
+        if self.bilateral:
+            return EntityIndexSpace(self._side_counts[0], self._side_counts[1])
+        return EntityIndexSpace(self.num_entities)
+
+    # -- insertion -------------------------------------------------------------
+    def add_entity(self, profile: EntityProfile, side: int = 0) -> InsertDelta:
+        """Insert one entity and return the candidate delta it introduced.
+
+        Parameters
+        ----------
+        profile:
+            The entity profile; signatures are extracted with the configured
+            blocking method.
+        side:
+            Source collection (0 or 1) for bilateral streams; must be 0 for
+            unilateral streams.
+        """
+        if side not in (0, 1):
+            raise ValueError("side must be 0 or 1")
+        if side == 1 and not self.bilateral:
+            raise ValueError("side=1 requires a bilateral index")
+        if (side, profile.entity_id) in self._node_of_id:
+            raise ValueError(
+                f"duplicate entity_id {profile.entity_id!r} on side {side}"
+            )
+
+        node = self.num_entities
+        self._entity_ids.append(profile.entity_id)
+        self._node_of_id[(side, profile.entity_id)] = node
+        self._sides.append(side)
+        self._side_counts[side] += 1
+        for array in (
+            self._blocks_per_entity,
+            self._entity_cardinality,
+            self._entity_inv_cardinality,
+            self._entity_inv_size,
+            self._degrees,
+        ):
+            array.append(0.0)
+
+        signatures = sorted(self.blocking.signatures_of(profile))
+        block_ids: List[int] = []
+        counterpart_parts: List[np.ndarray] = []
+        for signature in signatures:
+            block_id = self._block_ids.get(signature)
+            if block_id is None:
+                block_id = self._create_block(signature)
+            block_ids.append(block_id)
+            counterparts = self._join_block(block_id, node, side)
+            if counterparts is not None:
+                counterpart_parts.append(counterparts)
+
+        sorted_block_ids = np.sort(np.asarray(block_ids, dtype=np.int64))
+        self._indices.extend(sorted_block_ids)
+        self._indptr.append(len(self._indices))
+
+        if counterpart_parts:
+            counterparts = np.unique(np.concatenate(counterpart_parts))
+        else:
+            counterparts = np.empty(0, dtype=np.int64)
+
+        first_position = self.num_pairs
+        if counterparts.size:
+            self._pair_left.extend(counterparts)
+            self._pair_right.extend(np.full(counterparts.size, node, dtype=np.int64))
+            degrees = self._degrees.view()
+            degrees[counterparts] += 1.0
+            degrees[node] += float(counterparts.size)
+        pair_positions = np.arange(first_position, self.num_pairs, dtype=np.int64)
+
+        return InsertDelta(
+            node=node,
+            entity_id=profile.entity_id,
+            block_ids=sorted_block_ids,
+            counterparts=counterparts,
+            pair_positions=pair_positions,
+        )
+
+    def add_entities(
+        self, profiles: Iterable[EntityProfile], side: int = 0
+    ) -> List[InsertDelta]:
+        """Insert several entities from the same side, one at a time."""
+        return [self.add_entity(profile, side=side) for profile in profiles]
+
+    def _create_block(self, signature: str) -> int:
+        block_id = len(self._block_keys)
+        self._block_ids[signature] = block_id
+        self._block_keys.append(signature)
+        self._members_first.append([])
+        self._members_second.append([])
+        self._block_sizes.append(0)
+        self._block_cardinalities.append(0)
+        self._inverse_block_cardinalities.append(1.0)
+        self._inverse_block_sizes.append(1.0)
+        return block_id
+
+    def _join_block(self, block_id: int, node: int, side: int) -> Optional[np.ndarray]:
+        """Add ``node`` to a block, updating every affected aggregate.
+
+        Returns the node ids the new entity is compared against within this
+        block (``None`` when the block spawns no new comparison).
+        """
+        first = self._members_first[block_id]
+        second = self._members_second[block_id]
+        old_size = len(first) + len(second)
+        old_cardinality = int(self._block_cardinalities[block_id])
+        if self.bilateral:
+            counterpart_list = second if side == 0 else first
+            new_cardinality = (
+                (len(first) + (side == 0)) * (len(second) + (side == 1))
+            )
+        else:
+            counterpart_list = first
+            members = old_size + 1
+            new_cardinality = members * (members - 1) // 2
+        new_size = old_size + 1
+        delta_cardinality = new_cardinality - old_cardinality
+        self.total_cardinality += delta_cardinality
+
+        # Adjust the aggregates of the block's existing members.  Both
+        # branches are O(|b|); the arrays below are views into the growable
+        # buffers, so the updates land in place.
+        blocks_per_entity = self._blocks_per_entity.view()
+        entity_cardinality = self._entity_cardinality.view()
+        entity_inv_cardinality = self._entity_inv_cardinality.view()
+        entity_inv_size = self._entity_inv_size.view()
+        if old_cardinality > 0:
+            existing = np.fromiter(
+                first + second, dtype=np.int64, count=old_size
+            )
+            entity_cardinality[existing] += delta_cardinality
+            entity_inv_cardinality[existing] += (
+                1.0 / new_cardinality - 1.0 / old_cardinality
+            )
+            entity_inv_size[existing] += 1.0 / new_size - 1.0 / old_size
+            self.total_block_assignments += 1
+        elif new_cardinality > 0:
+            # the block just started spawning comparisons: it now counts
+            # towards |B|, |B_i| and the inverse sums of all its members
+            existing = np.fromiter(first + second, dtype=np.int64, count=old_size)
+            blocks_per_entity[existing] += 1.0
+            entity_cardinality[existing] += new_cardinality
+            entity_inv_cardinality[existing] += 1.0 / new_cardinality
+            entity_inv_size[existing] += 1.0 / new_size
+            self.num_nonempty_blocks += 1
+            self.total_block_assignments += new_size
+
+        if new_cardinality > 0:
+            blocks_per_entity[node] += 1.0
+            entity_cardinality[node] += new_cardinality
+            entity_inv_cardinality[node] += 1.0 / new_cardinality
+            entity_inv_size[node] += 1.0 / new_size
+
+        counterparts = (
+            np.fromiter(counterpart_list, dtype=np.int64, count=len(counterpart_list))
+            if counterpart_list
+            else None
+        )
+
+        if self.bilateral and side == 1:
+            second.append(node)
+        else:
+            first.append(node)
+        self._block_sizes[block_id] = new_size
+        self._block_cardinalities[block_id] = new_cardinality
+        self._inverse_block_cardinalities[block_id] = 1.0 / max(new_cardinality, 1)
+        self._inverse_block_sizes[block_id] = 1.0 / max(new_size, 1)
+        return counterparts
+
+    # -- read-side structures --------------------------------------------------
+    def csr(self) -> EntityBlockCSR:
+        """The current entity x block incidence structure (zero-copy views)."""
+        return EntityBlockCSR(
+            indptr=self._indptr.view(),
+            indices=self._indices.view(),
+            num_blocks=self.num_blocks,
+        )
+
+    def statistics(self) -> IncrementalStatistics:
+        """A fresh statistics view over the index's current state."""
+        return IncrementalStatistics(self)
+
+    def candidate_set(self) -> CandidateSet:
+        """All distinct candidate pairs registered so far (copied arrays)."""
+        return CandidateSet(
+            self._pair_left.view().copy(),
+            self._pair_right.view().copy(),
+            self.index_space(),
+        )
+
+    def delta_candidate_set(self, delta: InsertDelta) -> CandidateSet:
+        """The candidate pairs introduced by one insert, as a candidate set."""
+        left = delta.counterparts.copy()
+        right = np.full(left.size, delta.node, dtype=np.int64)
+        return CandidateSet(left, right, self.index_space())
+
+    def snapshot_blocks(self) -> BlockCollection:
+        """Materialise the comparison-spawning blocks as a batch collection.
+
+        The snapshot matches what the batch pipeline (with purging/filtering
+        disabled) builds from the same final data, up to block order and node
+        numbering.  Only the index space's totals are meaningful for
+        interleaved bilateral streams (see :meth:`index_space`).
+        """
+        blocks = []
+        for block_id, key in enumerate(self._block_keys):
+            if self._block_cardinalities[block_id] <= 0:
+                continue
+            blocks.append(
+                Block(
+                    key=key,
+                    entities_first=sorted(self._members_first[block_id]),
+                    entities_second=sorted(self._members_second[block_id]),
+                )
+            )
+        return BlockCollection(blocks, self.index_space(), name=self.name)

@@ -1,0 +1,338 @@
+"""Online matching sessions on top of the incremental block index.
+
+A :class:`MatchingSession` wraps a *frozen* probabilistic classifier taken
+from a batch pipeline run (:class:`FrozenModel`) and serves inserts: every
+``insert`` registers the entity in a :class:`MutableBlockIndex`, computes the
+feature vectors of the candidate delta with a :class:`DeltaFeatureGenerator`,
+scores them with the frozen model, and returns the entity's current matches
+under an *online* pruning policy:
+
+* :class:`OnlineWEP` — the WEP average-probability threshold maintained as a
+  running sum/count of valid scores;
+* :class:`OnlineTopK` — a CEP-style global top-K admission maintained with a
+  :class:`repro.utils.pqueue.BoundedTopQueue`.
+
+Streaming answers are necessarily provisional: scores are taken at insert
+time, while later inserts keep shifting the block statistics.  The exact
+answer is always available through :meth:`MatchingSession.retained`, which
+re-evaluates every registered pair against the final statistics (reusing the
+maintained CSR and pair registry — no re-blocking, no re-extraction) and
+applies the configured *batch* pruning algorithm.  Feeding a session the full
+collection one entity at a time therefore reproduces the batch pipeline's
+retained pairs on the final collection; the equivalence tests in
+``tests/incremental/`` assert this exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Tuple, Union
+
+import numpy as np
+
+from ..core.pruning import SupervisedPruningAlgorithm, get_pruning_algorithm
+from ..core.pruning.base import VALIDITY_THRESHOLD
+from ..datamodel import CandidateSet, EntityProfile
+from ..ml import ProbabilisticClassifier, StandardScaler
+from ..utils.pqueue import BoundedTopQueue
+from .delta import DeltaFeatureGenerator
+from .index import MutableBlockIndex, _Growable
+
+
+@dataclass(frozen=True)
+class FrozenModel:
+    """A trained classifier (plus its scaler) detached from the batch pipeline.
+
+    Parameters
+    ----------
+    classifier:
+        A fitted :class:`ProbabilisticClassifier`.
+    scaler:
+        The :class:`StandardScaler` the classifier was trained behind, or
+        ``None`` when features were not standardised.
+    feature_set:
+        The weighting-scheme names the classifier expects, in order.
+    """
+
+    classifier: ProbabilisticClassifier
+    scaler: Optional[StandardScaler]
+    feature_set: Tuple[str, ...]
+
+    def score(self, features: np.ndarray) -> np.ndarray:
+        """Match probability of every feature row."""
+        if features.shape[0] == 0:
+            return np.zeros(0, dtype=np.float64)
+        values = self.scaler.transform(features) if self.scaler is not None else features
+        return self.classifier.predict_proba(values)
+
+    @classmethod
+    def from_batch(cls, result) -> "FrozenModel":
+        """Freeze the classifier a batch pipeline run trained.
+
+        ``result`` is a :class:`repro.core.pipeline.MetaBlockingResult`; the
+        pipeline records its fitted classifier, scaler and feature set there.
+        """
+        if result.classifier is None:
+            raise ValueError(
+                "the batch result carries no classifier; re-run the pipeline "
+                "(older results predate frozen-model support)"
+            )
+        return cls(
+            classifier=result.classifier,
+            scaler=result.scaler,
+            feature_set=tuple(result.feature_set),
+        )
+
+
+class OnlinePruningPolicy:
+    """Decide, per insert, which freshly scored pairs currently qualify."""
+
+    name: str = "online"
+
+    def admit(self, probabilities: np.ndarray, positions: np.ndarray) -> np.ndarray:
+        """Update the online state with the new scores; return an admit mask."""
+        raise NotImplementedError
+
+
+class OnlineWEP(OnlinePruningPolicy):
+    """WEP's average-probability threshold as a running aggregate.
+
+    Keeps the sum and count of all *valid* scores (probability >= 0.5) seen
+    so far; a new pair is admitted when its score is valid and reaches the
+    current running average — the streaming analogue of Algorithm 1.
+    """
+
+    name = "wep"
+
+    def __init__(self) -> None:
+        self._valid_sum = 0.0
+        self._valid_count = 0
+
+    @property
+    def threshold(self) -> float:
+        """The current admission threshold (running average of valid scores)."""
+        if self._valid_count == 0:
+            return VALIDITY_THRESHOLD
+        return self._valid_sum / self._valid_count
+
+    def admit(self, probabilities: np.ndarray, positions: np.ndarray) -> np.ndarray:
+        valid = probabilities >= VALIDITY_THRESHOLD
+        self._valid_sum += float(probabilities[valid].sum())
+        self._valid_count += int(valid.sum())
+        return valid & (probabilities >= self.threshold)
+
+
+class OnlineTopK(OnlinePruningPolicy):
+    """CEP-style global top-K admission over a bounded priority queue.
+
+    Parameters
+    ----------
+    capacity:
+        The retention budget K.  The queue's minimum retained weight is the
+        admission threshold, exactly as in Algorithm 4; evicted pairs simply
+        stop being reported (earlier answers are provisional by design).
+    """
+
+    name = "topk"
+
+    def __init__(self, capacity: int) -> None:
+        self._queue: BoundedTopQueue[int] = BoundedTopQueue(capacity)
+
+    @property
+    def threshold(self) -> float:
+        """The current admission threshold (minimum retained weight)."""
+        return max(self._queue.min_weight, VALIDITY_THRESHOLD)
+
+    def admit(self, probabilities: np.ndarray, positions: np.ndarray) -> np.ndarray:
+        mask = np.zeros(probabilities.size, dtype=bool)
+        for offset, (probability, position) in enumerate(
+            zip(probabilities.tolist(), positions.tolist())
+        ):
+            if probability < VALIDITY_THRESHOLD:
+                continue
+            evicted = self._queue.push(probability, int(position))
+            mask[offset] = evicted != int(position)
+        return mask
+
+
+def _resolve_online_policy(
+    online: Union[str, OnlinePruningPolicy, None], top_k: int
+) -> OnlinePruningPolicy:
+    if isinstance(online, OnlinePruningPolicy):
+        return online
+    if online is None or online == "wep":
+        return OnlineWEP()
+    if online == "topk":
+        return OnlineTopK(top_k)
+    raise ValueError(f"unknown online policy {online!r}; expected 'wep' or 'topk'")
+
+
+@dataclass(frozen=True)
+class InsertResult:
+    """The outcome of one streaming insert."""
+
+    #: the inserted entity's identifier
+    entity_id: str
+    #: node id assigned by the session's index
+    node: int
+    #: number of candidate pairs the insert introduced
+    num_new_pairs: int
+    #: match probability of every new pair (aligned with ``counterpart_ids``)
+    probabilities: np.ndarray
+    #: entity ids of the new candidate counterparts
+    counterpart_ids: Tuple[str, ...]
+    #: (counterpart id, probability) of the pairs the online policy admitted,
+    #: ordered by decreasing probability
+    matches: Tuple[Tuple[str, float], ...]
+
+
+@dataclass
+class SessionResult:
+    """The exact (batch-equivalent) answer over all streamed entities."""
+
+    #: every registered candidate pair
+    candidates: CandidateSet
+    #: match probability of every pair under the final statistics
+    probabilities: np.ndarray
+    #: boolean mask over ``candidates`` (True = retained)
+    retained_mask: np.ndarray
+    #: retained pairs as entity-id tuples, ordered (first side, second side)
+    #: for bilateral sessions and by insertion order for unilateral ones
+    retained_ids: Tuple[Tuple[str, str], ...]
+
+    @property
+    def retained_count(self) -> int:
+        """Number of retained candidate pairs."""
+        return int(self.retained_mask.sum())
+
+    def retained_id_set(self) -> set:
+        """The retained pairs as a set of entity-id tuples."""
+        return set(self.retained_ids)
+
+
+class MatchingSession:
+    """Serve entity inserts against a frozen batch-trained matcher.
+
+    Parameters
+    ----------
+    model:
+        The frozen classifier + scaler + feature set (see
+        :meth:`FrozenModel.from_batch`).
+    bilateral:
+        ``True`` for Clean-Clean streams (two sources, cross-source pairs),
+        ``False`` for Dirty streams.
+    blocking:
+        Signature extractor for the underlying index (default token
+        blocking).
+    pruning:
+        The *batch* pruning algorithm name or instance applied by
+        :meth:`retained` (default BLAST, the paper's best weight-based
+        algorithm).
+    online:
+        The per-insert online policy: ``"wep"`` (default), ``"topk"``, or an
+        :class:`OnlinePruningPolicy` instance.
+    top_k:
+        Budget for the ``"topk"`` policy.
+    """
+
+    def __init__(
+        self,
+        model: FrozenModel,
+        bilateral: bool = False,
+        blocking=None,
+        pruning: Union[str, SupervisedPruningAlgorithm] = "BLAST",
+        online: Union[str, OnlinePruningPolicy, None] = "wep",
+        top_k: int = 1000,
+    ) -> None:
+        self.model = model
+        self.index = MutableBlockIndex(blocking=blocking, bilateral=bilateral)
+        self.features = DeltaFeatureGenerator(self.index, model.feature_set)
+        self.pruning = (
+            get_pruning_algorithm(pruning) if isinstance(pruning, str) else pruning
+        )
+        self.online = _resolve_online_policy(online, top_k)
+        #: probability of every pair at the time it was inserted (provisional)
+        self._insert_probabilities = _Growable(np.float64, capacity=1024)
+
+    # -- introspection ---------------------------------------------------------
+    @property
+    def num_entities(self) -> int:
+        """Number of streamed entities."""
+        return self.index.num_entities
+
+    @property
+    def num_pairs(self) -> int:
+        """Number of distinct candidate pairs registered so far."""
+        return self.index.num_pairs
+
+    def insert_time_probabilities(self) -> np.ndarray:
+        """The provisional score every pair received when it was inserted."""
+        return self._insert_probabilities.view().copy()
+
+    # -- streaming -------------------------------------------------------------
+    def insert(self, profile: EntityProfile, side: int = 0) -> InsertResult:
+        """Insert one entity; return its scored + online-pruned matches."""
+        delta = self.index.add_entity(profile, side=side)
+        matrix = self.features.generate_delta(delta)
+        probabilities = self.model.score(matrix.values)
+        self._insert_probabilities.extend(probabilities)
+        admitted = self.online.admit(probabilities, delta.pair_positions)
+
+        counterpart_ids = tuple(
+            self.index.entity_id(int(node)) for node in delta.counterparts
+        )
+        order = np.argsort(-probabilities[admitted], kind="stable")
+        admitted_offsets = np.flatnonzero(admitted)[order]
+        matches = tuple(
+            (counterpart_ids[int(offset)], float(probabilities[int(offset)]))
+            for offset in admitted_offsets
+        )
+        return InsertResult(
+            entity_id=delta.entity_id,
+            node=delta.node,
+            num_new_pairs=delta.num_new_pairs,
+            probabilities=probabilities,
+            counterpart_ids=counterpart_ids,
+            matches=matches,
+        )
+
+    def insert_many(
+        self, profiles: Iterable[EntityProfile], side: int = 0
+    ) -> List[InsertResult]:
+        """Insert several entities from the same side, one at a time."""
+        return [self.insert(profile, side=side) for profile in profiles]
+
+    # -- exact finalisation ----------------------------------------------------
+    def retained(self) -> SessionResult:
+        """The exact answer on the streamed collection.
+
+        Re-evaluates every registered pair against the final incremental
+        statistics (one vectorized pass over the maintained CSR and pair
+        registry), scores with the frozen model and applies the configured
+        batch pruning algorithm — reproducing what the batch pipeline
+        retains on the same final collection.
+        """
+        candidates, matrix = self.features.generate_all()
+        probabilities = self.model.score(matrix.values)
+        if len(candidates) == 0:
+            mask = np.zeros(0, dtype=bool)
+        else:
+            mask = self.pruning.prune(
+                probabilities, candidates, self.index.snapshot_blocks()
+            )
+        retained_ids = tuple(
+            self._id_pair(int(i), int(j))
+            for i, j in zip(candidates.left[mask], candidates.right[mask])
+        )
+        return SessionResult(
+            candidates=candidates,
+            probabilities=probabilities,
+            retained_mask=mask,
+            retained_ids=retained_ids,
+        )
+
+    def _id_pair(self, i: int, j: int) -> Tuple[str, str]:
+        """Order a retained pair (first side, second side) when bilateral."""
+        if self.index.bilateral and self.index.side_of(i) == 1:
+            i, j = j, i
+        return (self.index.entity_id(i), self.index.entity_id(j))

@@ -1,0 +1,229 @@
+"""Streaming application harness: bootstrap training + stream replay.
+
+``repro stream`` (and the incremental-vs-batch bench) share this layer.  A
+Clean-Clean dataset is split into a *bootstrap* prefix used to train the
+frozen classifier through the regular batch pipeline, and the whole
+collection is then replayed through a :class:`MatchingSession` one entity at
+a time, recording per-insert latency and the candidate delta of every
+insert.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Sequence, Set, Tuple, Union
+
+import numpy as np
+
+from ..blocking import prepare_blocks
+from ..core.pipeline import GeneralizedSupervisedMetaBlocking
+from ..datamodel import EntityCollection, EntityProfile, GroundTruth
+from ..datasets.benchmarks import CleanCleanDataset
+from ..utils.rng import SeedLike
+from ..weights import BLAST_FEATURE_SET
+from .session import FrozenModel, MatchingSession, OnlinePruningPolicy, SessionResult
+
+
+class StreamTrainingError(ValueError):
+    """The dataset cannot train a frozen model (no usable ground truth)."""
+
+
+def ground_truth_id_pairs(
+    ground_truth: GroundTruth,
+    first: EntityCollection,
+    second: Optional[EntityCollection] = None,
+) -> Set[Tuple[str, str]]:
+    """Map a ground truth's node pairs back to entity-id pairs."""
+    pairs: Set[Tuple[str, str]] = set()
+    size_first = len(first)
+    for i, j in ground_truth:
+        if second is None:
+            pairs.add((first[i].entity_id, first[j].entity_id))
+        else:
+            pairs.add((first[i].entity_id, second[j - size_first].entity_id))
+    return pairs
+
+
+def split_bootstrap(
+    dataset: CleanCleanDataset, fraction: float
+) -> Tuple[EntityCollection, EntityCollection, GroundTruth]:
+    """The bootstrap prefix of a dataset: leading entities of both sides.
+
+    Raises
+    ------
+    StreamTrainingError
+        When the bootstrap contains no ground-truth duplicate — the frozen
+        classifier cannot be trained without labelled matches.
+    """
+    if not 0.0 < fraction <= 1.0:
+        raise ValueError("bootstrap fraction must be in (0, 1]")
+    n_first = max(2, int(round(fraction * len(dataset.first))))
+    n_second = max(2, int(round(fraction * len(dataset.second))))
+    boot_first = EntityCollection(
+        list(dataset.first)[:n_first], name=f"{dataset.first.name}|boot"
+    )
+    boot_second = EntityCollection(
+        list(dataset.second)[:n_second], name=f"{dataset.second.name}|boot"
+    )
+    retained = [
+        (a, b)
+        for a, b in ground_truth_id_pairs(
+            dataset.ground_truth, dataset.first, dataset.second
+        )
+        if a in boot_first and b in boot_second
+    ]
+    if not retained:
+        raise StreamTrainingError(
+            f"the bootstrap prefix ({fraction:.0%} of {dataset.name}) contains no "
+            "ground-truth duplicate; increase --bootstrap or provide a dataset "
+            "with ground truth"
+        )
+    truth = GroundTruth.from_id_pairs(retained, boot_first, boot_second)
+    return boot_first, boot_second, truth
+
+
+def train_frozen_model(
+    dataset: CleanCleanDataset,
+    bootstrap_fraction: float = 0.5,
+    feature_set: Sequence[str] = BLAST_FEATURE_SET,
+    pruning: str = "BLAST",
+    training_size: int = 50,
+    seed: SeedLike = 0,
+    backend: str = "sparse",
+) -> FrozenModel:
+    """Train a frozen classifier on the dataset's bootstrap prefix.
+
+    The bootstrap runs through the batch pipeline with Block Purging and
+    Block Filtering *disabled*, matching the raw token blocks the streaming
+    index maintains, so the classifier sees the same feature distribution it
+    will score online.
+    """
+    boot_first, boot_second, truth = split_bootstrap(dataset, bootstrap_fraction)
+    prepared = prepare_blocks(
+        boot_first, boot_second, apply_purging=False, apply_filtering=False
+    )
+    pipeline = GeneralizedSupervisedMetaBlocking(
+        feature_set=feature_set,
+        pruning=pruning,
+        training_size=training_size,
+        seed=seed,
+        backend=backend,
+    )
+    try:
+        result = pipeline.run(prepared.blocks, prepared.candidates, truth)
+    except ValueError as error:
+        raise StreamTrainingError(
+            f"cannot train the frozen classifier on the {dataset.name} bootstrap: "
+            f"{error}"
+        ) from error
+    return FrozenModel.from_batch(result)
+
+
+def interleave_profiles(
+    first: EntityCollection, second: EntityCollection
+) -> Iterator[Tuple[EntityProfile, int]]:
+    """Alternate entities from the two sides, draining the longer one last.
+
+    This is the arrival order ``repro stream`` and the equivalence tests
+    replay — deliberately interleaved, so the index handles node ids that do
+    not form contiguous per-side ranges.
+    """
+    iter_first = iter(first)
+    iter_second = iter(second)
+    while True:
+        emitted = False
+        profile = next(iter_first, None)
+        if profile is not None:
+            emitted = True
+            yield profile, 0
+        profile = next(iter_second, None)
+        if profile is not None:
+            emitted = True
+            yield profile, 1
+        if not emitted:
+            return
+
+
+@dataclass
+class StreamReplay:
+    """Everything measured while replaying a dataset through a session."""
+
+    #: the session after all inserts (query :meth:`MatchingSession.retained`)
+    session: MatchingSession
+    #: wall-clock seconds of every insert
+    insert_seconds: np.ndarray
+    #: candidate delta (number of new pairs) of every insert
+    delta_sizes: np.ndarray
+    #: number of streaming matches reported online per insert
+    online_matches: np.ndarray
+
+    @property
+    def num_inserts(self) -> int:
+        """Number of entities streamed."""
+        return int(self.insert_seconds.size)
+
+    @property
+    def total_seconds(self) -> float:
+        """Summed insert time."""
+        return float(self.insert_seconds.sum())
+
+    @property
+    def throughput(self) -> float:
+        """Inserts per second."""
+        total = self.total_seconds
+        return self.num_inserts / total if total > 0 else float("inf")
+
+    def latency_percentiles(self) -> Tuple[float, float, float]:
+        """(mean, median, p95) insert latency in seconds."""
+        if self.insert_seconds.size == 0:
+            return (0.0, 0.0, 0.0)
+        return (
+            float(self.insert_seconds.mean()),
+            float(np.percentile(self.insert_seconds, 50)),
+            float(np.percentile(self.insert_seconds, 95)),
+        )
+
+
+def replay_stream(
+    dataset: CleanCleanDataset,
+    model: FrozenModel,
+    pruning: str = "BLAST",
+    online: Union[str, OnlinePruningPolicy, None] = "wep",
+    top_k: int = 1000,
+    limit: Optional[int] = None,
+) -> StreamReplay:
+    """Stream a Clean-Clean dataset through a fresh matching session."""
+    session = MatchingSession(
+        model, bilateral=True, pruning=pruning, online=online, top_k=top_k
+    )
+    seconds: List[float] = []
+    deltas: List[int] = []
+    matches: List[int] = []
+    for profile, side in interleave_profiles(dataset.first, dataset.second):
+        if limit is not None and len(seconds) >= limit:
+            break
+        started = time.perf_counter()
+        result = session.insert(profile, side=side)
+        seconds.append(time.perf_counter() - started)
+        deltas.append(result.num_new_pairs)
+        matches.append(len(result.matches))
+    return StreamReplay(
+        session=session,
+        insert_seconds=np.asarray(seconds, dtype=np.float64),
+        delta_sizes=np.asarray(deltas, dtype=np.int64),
+        online_matches=np.asarray(matches, dtype=np.int64),
+    )
+
+
+def evaluate_retained_ids(
+    result: SessionResult, truth_id_pairs: Set[Tuple[str, str]]
+) -> Tuple[float, float]:
+    """(recall, precision) of a session's retained id pairs vs ground truth."""
+    retained = result.retained_id_set()
+    if not truth_id_pairs:
+        return (0.0, 0.0)
+    hits = len(retained & truth_id_pairs)
+    recall = hits / len(truth_id_pairs)
+    precision = hits / len(retained) if retained else 0.0
+    return (recall, precision)

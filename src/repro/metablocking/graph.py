@@ -58,6 +58,7 @@ def build_blocking_graph(
     scheme: Union[str, WeightingScheme] = "CBS",
     candidates: Optional[CandidateSet] = None,
     stats: Optional[BlockStatistics] = None,
+    backend: str = "sparse",
 ) -> BlockingGraph:
     """Build the blocking graph of ``blocks`` weighted by ``scheme``.
 
@@ -70,11 +71,16 @@ def build_blocking_graph(
         blocks, as in the paper's running example).
     candidates, stats:
         Optional precomputed candidate pairs / statistics.
+    backend:
+        Edge-weight backend.  The default ``"sparse"`` reuses the CSR
+        incidence structure of :mod:`repro.weights.sparse`, computing all
+        edge weights in one batched intersection pass; ``"loop"`` is the
+        per-pair reference builder the equivalence tests compare against.
     """
     scheme_obj = get_scheme(scheme) if isinstance(scheme, str) else scheme
     pair_set = candidates if candidates is not None else CandidateSet.from_blocks(blocks)
     statistics = stats if stats is not None else BlockStatistics(blocks)
-    values = scheme_obj.compute(pair_set, statistics)
+    values = scheme_obj.compute_with_backend(pair_set, statistics, backend=backend)
     if values.shape[1] != 1:
         raise ValueError(
             f"scheme {scheme_obj.name} produces {values.shape[1]} columns; "

@@ -10,10 +10,12 @@ with the ``backend`` argument threaded through
 :class:`repro.core.pipeline.GeneralizedSupervisedMetaBlocking` and the CLI's
 ``--backend`` flag:
 
-* ``"loop"`` (default) — the per-pair reference implementation: a readable
-  Python loop intersecting per-entity frozensets of block ids.  It mirrors
-  the paper's formulas line by line and serves as the correctness oracle.
-* ``"sparse"`` — the vectorized production backend
+* ``"loop"`` — the per-pair reference implementation: a readable Python loop
+  intersecting per-entity frozensets of block ids.  It mirrors the paper's
+  formulas line by line and serves as the correctness oracle (and remains
+  the default of the low-level :class:`FeatureVectorGenerator`).
+* ``"sparse"`` — the vectorized production backend and the default of the
+  pipeline, :class:`repro.experiments.ExperimentConfig` and the CLI
   (:mod:`repro.weights.sparse`): the block collection is flattened once into
   an entity x block CSR incidence structure and the per-pair co-occurrence
   aggregates of *all* candidate pairs are computed in batched NumPy

@@ -25,8 +25,9 @@ inputs.
 
 from __future__ import annotations
 
+import weakref
 from dataclasses import dataclass
-from typing import Tuple
+from typing import Callable, Optional, Tuple
 
 import numpy as np
 
@@ -204,6 +205,32 @@ def compute_pair_cooccurrence(
             pair_positions, weights=inverse_sizes[shared_blocks], minlength=chunk_len
         )
     return PairCooccurrence(common, sum_inv_cardinality, sum_inv_size)
+
+
+class PairCooccurrenceCache:
+    """Single-entry cache of :class:`PairCooccurrence` per candidate set.
+
+    All schemes of one feature-matrix generation — and repeated generations
+    over the same candidate-set object — share a single intersection pass.
+    The candidate set is held weakly, so the cache never prolongs its life.
+    Both the batch :class:`repro.weights.BlockStatistics` and the streaming
+    :class:`repro.incremental.IncrementalStatistics` delegate here.
+    """
+
+    def __init__(self) -> None:
+        self._entry: Optional[Tuple[weakref.ref, PairCooccurrence]] = None
+
+    def get(
+        self, candidates, compute: Callable[[], PairCooccurrence]
+    ) -> PairCooccurrence:
+        """Return the cached aggregates for ``candidates`` or compute them."""
+        if self._entry is not None:
+            ref, cached = self._entry
+            if ref() is candidates:
+                return cached
+        result = compute()
+        self._entry = (weakref.ref(candidates), result)
+        return result
 
 
 #: Upper bound on the number of expanded (node, neighbour) keys buffered

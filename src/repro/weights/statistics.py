@@ -16,7 +16,6 @@ intersections, the irreducible part of the cost.
 
 from __future__ import annotations
 
-import weakref
 from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
 import numpy as np
@@ -25,6 +24,7 @@ from ..datamodel import BlockCollection, CandidateSet
 from .sparse import (
     EntityBlockCSR,
     PairCooccurrence,
+    PairCooccurrenceCache,
     build_entity_block_csr,
     compute_pair_cooccurrence,
     sparse_local_candidate_counts,
@@ -86,7 +86,7 @@ class BlockStatistics:
         self._lcp: Optional[np.ndarray] = None
         self._lcp_sparse: Optional[np.ndarray] = None
         self._csr: Optional[EntityBlockCSR] = None
-        self._pair_cache: Optional[Tuple[weakref.ref, PairCooccurrence]] = None
+        self._pair_cache = PairCooccurrenceCache()
 
     # -- sparse backend --------------------------------------------------------
     def csr(self) -> EntityBlockCSR:
@@ -103,19 +103,16 @@ class BlockStatistics:
         over the same candidates, as in the feature-selection sweeps — share
         a single intersection pass.
         """
-        if self._pair_cache is not None:
-            ref, cached = self._pair_cache
-            if ref() is candidates:
-                return cached
-        result = compute_pair_cooccurrence(
-            self.csr(),
-            self.inverse_block_cardinalities,
-            self.inverse_block_sizes,
-            candidates.left,
-            candidates.right,
+        return self._pair_cache.get(
+            candidates,
+            lambda: compute_pair_cooccurrence(
+                self.csr(),
+                self.inverse_block_cardinalities,
+                self.inverse_block_sizes,
+                candidates.left,
+                candidates.right,
+            ),
         )
-        self._pair_cache = (weakref.ref(candidates), result)
-        return result
 
     # -- memberships -----------------------------------------------------------
     def blocks_of(self, node: int) -> FrozenSet[int]:

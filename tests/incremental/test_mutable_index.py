@@ -1,0 +1,229 @@
+"""Unit tests for the incrementally maintained block index.
+
+The invariant under test: a :class:`MutableBlockIndex` fed entities one at a
+time exposes exactly the statistics :class:`BlockStatistics` computes on the
+batch block collection built from the same final data (with the batch-only
+purging/filtering steps disabled).
+"""
+
+import numpy as np
+import pytest
+
+from repro.blocking import prepare_blocks
+from repro.core import FeatureVectorGenerator
+from repro.datamodel import EntityCollection, make_profile
+from repro.incremental import (
+    DeltaFeatureGenerator,
+    MutableBlockIndex,
+    interleave_profiles,
+)
+from repro.weights import BlockStatistics, PAPER_FEATURES
+
+
+def _profiles(rows):
+    return [make_profile(entity_id, text=text) for entity_id, text in rows]
+
+
+@pytest.fixture()
+def small_stream():
+    """A tiny bilateral stream with shared, unique and absent tokens."""
+    first = _profiles(
+        [("a1", "apple phone"), ("a2", "samsung phone"), ("a3", "unique1"), ("a4", "")]
+    )
+    second = _profiles(
+        [("b1", "apple handset"), ("b2", "samsung phone case"), ("b3", "unique2")]
+    )
+    return first, second
+
+
+def _batch_node_mapper(index, first, second):
+    size_first = len(first)
+
+    def to_batch(node):
+        entity_id = index.entity_id(node)
+        if index.side_of(node) == 0:
+            return first.index_of(entity_id)
+        return size_first + second.index_of(entity_id)
+
+    return to_batch
+
+
+def _assert_matches_batch(index, first, second):
+    """Compare the index against the batch pipeline on the final data."""
+    prepared = prepare_blocks(
+        first, second, apply_purging=False, apply_filtering=False
+    )
+    stats = BlockStatistics(prepared.blocks)
+    to_batch = _batch_node_mapper(index, first, second) if second is not None else int
+
+    # candidate pairs
+    candidates = index.candidate_set()
+    streamed = {
+        tuple(sorted((to_batch(int(i)), to_batch(int(j)))))
+        for i, j in zip(candidates.left, candidates.right)
+    }
+    batch = set(zip(prepared.candidates.left.tolist(), prepared.candidates.right.tolist()))
+    assert streamed == batch
+
+    # global aggregates
+    assert index.num_nonempty_blocks == len(prepared.blocks)
+    assert index.total_cardinality == prepared.blocks.total_comparisons()
+    assert index.total_block_assignments == prepared.blocks.total_block_assignments()
+
+    # per-entity aggregates
+    view = index.statistics()
+    node_map = np.array([to_batch(node) for node in range(index.num_entities)])
+    np.testing.assert_allclose(view.blocks_per_entity, stats.blocks_per_entity[node_map])
+    np.testing.assert_allclose(view.entity_cardinality, stats.entity_cardinality[node_map])
+    np.testing.assert_allclose(
+        view.entity_inv_cardinality, stats.entity_inv_cardinality[node_map]
+    )
+    np.testing.assert_allclose(view.entity_inv_size, stats.entity_inv_size[node_map])
+    np.testing.assert_allclose(
+        view.local_candidate_counts_sparse(), stats.local_candidate_counts()[node_map]
+    )
+
+    # full feature matrices
+    if len(candidates):
+        streamed_matrix = DeltaFeatureGenerator(index, PAPER_FEATURES).generate(candidates)
+        batch_matrix = FeatureVectorGenerator(PAPER_FEATURES, backend="sparse").generate(
+            prepared.candidates, stats
+        )
+        position = prepared.candidates.position_index()
+        rows = np.array(
+            [
+                position[tuple(sorted((to_batch(int(i)), to_batch(int(j)))))]
+                for i, j in zip(candidates.left, candidates.right)
+            ]
+        )
+        np.testing.assert_allclose(
+            streamed_matrix.values, batch_matrix.values[rows], rtol=1e-9, atol=1e-12
+        )
+
+
+class TestBilateralIndex:
+    def test_matches_batch_on_interleaved_stream(self, small_stream):
+        first_profiles, second_profiles = small_stream
+        first = EntityCollection(first_profiles, name="s1")
+        second = EntityCollection(second_profiles, name="s2")
+        index = MutableBlockIndex(bilateral=True)
+        for profile, side in interleave_profiles(first, second):
+            index.add_entity(profile, side=side)
+        _assert_matches_batch(index, first, second)
+
+    def test_delta_reports_only_new_pairs(self, small_stream):
+        first_profiles, second_profiles = small_stream
+        index = MutableBlockIndex(bilateral=True)
+        index.add_entity(first_profiles[0], side=0)  # apple phone
+        delta = index.add_entity(second_profiles[0], side=1)  # apple handset
+        assert delta.num_new_pairs == 1
+        assert delta.counterparts.tolist() == [0]
+        delta = index.add_entity(second_profiles[1], side=1)  # samsung phone case
+        assert delta.num_new_pairs == 1  # shares only "phone" with a1
+        delta = index.add_entity(first_profiles[1], side=0)  # samsung phone
+        assert delta.num_new_pairs == 1  # shares samsung+phone with b2 only
+        assert delta.counterparts.tolist() == [2]
+
+    def test_empty_profile_introduces_nothing(self, small_stream):
+        first_profiles, second_profiles = small_stream
+        index = MutableBlockIndex(bilateral=True)
+        index.add_entity(first_profiles[0], side=0)
+        delta = index.add_entity(make_profile("empty"), side=1)
+        assert delta.num_new_pairs == 0
+        assert delta.block_ids.size == 0
+        assert index.num_pairs == 0
+
+    def test_one_sided_block_spawns_no_pairs(self):
+        index = MutableBlockIndex(bilateral=True)
+        index.add_entity(make_profile("a1", text="solo"), side=0)
+        delta = index.add_entity(make_profile("a2", text="solo"), side=0)
+        assert delta.num_new_pairs == 0
+        assert index.num_nonempty_blocks == 0
+        # the first opposite-side member flips the block to comparison-spawning
+        delta = index.add_entity(make_profile("b1", text="solo"), side=1)
+        assert delta.num_new_pairs == 2
+        assert index.num_nonempty_blocks == 1
+
+    def test_duplicate_entity_id_rejected_per_side(self):
+        index = MutableBlockIndex(bilateral=True)
+        index.add_entity(make_profile("x", text="token"), side=0)
+        with pytest.raises(ValueError, match="duplicate entity_id"):
+            index.add_entity(make_profile("x", text="other"), side=0)
+
+    def test_same_id_on_both_sides_is_allowed(self):
+        """Clean-Clean sources number their entities independently."""
+        index = MutableBlockIndex(bilateral=True)
+        index.add_entity(make_profile("1", text="apple phone"), side=0)
+        delta = index.add_entity(make_profile("1", text="apple phone"), side=1)
+        assert delta.num_new_pairs == 1
+        assert index.node_of("1", side=0) == 0
+        assert index.node_of("1", side=1) == 1
+        assert index.has_entity("1", side=0) and index.has_entity("1", side=1)
+        assert not index.has_entity("2", side=0)
+
+    def test_side_validation(self):
+        unilateral = MutableBlockIndex(bilateral=False)
+        with pytest.raises(ValueError, match="bilateral"):
+            unilateral.add_entity(make_profile("x", text="t"), side=1)
+        with pytest.raises(ValueError, match="side"):
+            MutableBlockIndex(bilateral=True).add_entity(
+                make_profile("y", text="t"), side=2
+            )
+
+
+class TestUnilateralIndex:
+    def test_matches_batch_on_dirty_stream(self):
+        profiles = _profiles(
+            [
+                ("d1", "red widget deluxe"),
+                ("d2", "red widget"),
+                ("d3", "blue widget"),
+                ("d4", "singleton token"),
+                ("d5", ""),
+                ("d6", "red deluxe"),
+            ]
+        )
+        collection = EntityCollection(profiles, name="dirty", is_clean=False)
+        index = MutableBlockIndex(bilateral=False)
+        deltas = index.add_entities(collection)
+        assert len(deltas) == len(profiles)
+        _assert_matches_batch(index, collection, None)
+
+    def test_singleton_block_counts_nothing_until_second_member(self):
+        index = MutableBlockIndex(bilateral=False)
+        index.add_entity(make_profile("d1", text="rare"))
+        assert index.num_nonempty_blocks == 0
+        assert index.statistics().blocks_per_entity[0] == 0.0
+        index.add_entity(make_profile("d2", text="rare"))
+        assert index.num_nonempty_blocks == 1
+        view = index.statistics()
+        np.testing.assert_allclose(view.blocks_per_entity[:2], [1.0, 1.0])
+        np.testing.assert_allclose(view.entity_inv_cardinality[:2], [1.0, 1.0])
+
+    def test_snapshot_blocks_match_batch_collection(self):
+        profiles = _profiles([("d1", "a b"), ("d2", "b c"), ("d3", "c a")])
+        collection = EntityCollection(profiles, name="dirty", is_clean=False)
+        index = MutableBlockIndex(bilateral=False)
+        index.add_entities(collection)
+        snapshot = index.snapshot_blocks()
+        prepared = prepare_blocks(
+            collection, None, apply_purging=False, apply_filtering=False
+        )
+        streamed = {
+            (block.key, tuple(block.entities_first), tuple(block.entities_second))
+            for block in snapshot
+        }
+        batch = {
+            (block.key, tuple(block.entities_first), tuple(block.entities_second))
+            for block in prepared.blocks
+        }
+        assert streamed == batch
+
+    def test_csr_rows_are_sorted(self):
+        index = MutableBlockIndex(bilateral=False)
+        index.add_entity(make_profile("d1", text="zeta alpha midway"))
+        index.add_entity(make_profile("d2", text="midway zeta"))
+        csr = index.csr()
+        for node in range(index.num_entities):
+            row = csr.indices[csr.indptr[node] : csr.indptr[node + 1]]
+            assert np.all(np.diff(row) > 0)

@@ -1,0 +1,184 @@
+"""MatchingSession behaviour + exact batch equivalence on fixture datasets.
+
+The acceptance invariant: inserting every entity of a benchmark one at a
+time through a :class:`MatchingSession` holding the batch run's frozen
+classifier, then asking for the exact answer, reproduces the batch
+pipeline's retained pairs on the final collection — verified here on two
+generated fixture datasets (DblpAcm and AbtBuy) and two pruning algorithms.
+"""
+
+import numpy as np
+import pytest
+
+from repro.blocking import prepare_blocks
+from repro.core import GeneralizedSupervisedMetaBlocking
+from repro.datamodel import make_profile
+from repro.datasets import load_benchmark
+from repro.incremental import (
+    FrozenModel,
+    MatchingSession,
+    OnlineTopK,
+    OnlineWEP,
+    StreamTrainingError,
+    interleave_profiles,
+    replay_stream,
+    split_bootstrap,
+    train_frozen_model,
+)
+from repro.weights import BLAST_FEATURE_SET
+
+
+def _batch_retained_ids(dataset, result):
+    size_first = len(dataset.first)
+    return {
+        (
+            dataset.first[int(i)].entity_id,
+            dataset.second[int(j) - size_first].entity_id,
+        )
+        for i, j in zip(result.retained.left, result.retained.right)
+    }
+
+
+@pytest.fixture(scope="module", params=["DblpAcm", "AbtBuy"])
+def streamed_fixture(request):
+    """One benchmark, its batch pipeline run, and the frozen model."""
+    dataset = load_benchmark(request.param, seed=11, scale=0.15)
+    prepared = prepare_blocks(
+        dataset.first, dataset.second, apply_purging=False, apply_filtering=False
+    )
+    pipeline = GeneralizedSupervisedMetaBlocking(
+        feature_set=BLAST_FEATURE_SET, pruning="BLAST", training_size=50, seed=3
+    )
+    result = pipeline.run(prepared.blocks, prepared.candidates, dataset.ground_truth)
+    return dataset, prepared, result
+
+
+class TestBatchEquivalence:
+    def test_streaming_reproduces_batch_retained_pairs(self, streamed_fixture):
+        dataset, _, result = streamed_fixture
+        session = MatchingSession(FrozenModel.from_batch(result), bilateral=True)
+        for profile, side in interleave_profiles(dataset.first, dataset.second):
+            session.insert(profile, side=side)
+        final = session.retained()
+        assert final.retained_id_set() == _batch_retained_ids(dataset, result)
+        assert len(final.candidates) == len(result.candidates)
+
+    def test_equivalence_holds_for_wep_pruning(self, streamed_fixture):
+        dataset, prepared, result = streamed_fixture
+        pipeline = GeneralizedSupervisedMetaBlocking(
+            feature_set=BLAST_FEATURE_SET, pruning="WEP", training_size=50, seed=3
+        )
+        wep_result = pipeline.run(
+            prepared.blocks, prepared.candidates, dataset.ground_truth
+        )
+        session = MatchingSession(
+            FrozenModel.from_batch(wep_result), bilateral=True, pruning="WEP"
+        )
+        for profile, side in interleave_profiles(dataset.first, dataset.second):
+            session.insert(profile, side=side)
+        assert session.retained().retained_id_set() == _batch_retained_ids(
+            dataset, wep_result
+        )
+
+
+class TestSessionBehaviour:
+    def test_insert_reports_scored_matches(self, streamed_fixture):
+        dataset, _, result = streamed_fixture
+        session = MatchingSession(FrozenModel.from_batch(result), bilateral=True)
+        outcomes = []
+        for profile, side in interleave_profiles(dataset.first, dataset.second):
+            outcomes.append(session.insert(profile, side=side))
+        assert session.num_entities == len(dataset.first) + len(dataset.second)
+        assert sum(o.num_new_pairs for o in outcomes) == session.num_pairs
+        with_pairs = [o for o in outcomes if o.num_new_pairs]
+        assert with_pairs, "the stream should produce candidate pairs"
+        for outcome in with_pairs:
+            assert outcome.probabilities.shape == (outcome.num_new_pairs,)
+            assert np.all((outcome.probabilities >= 0) & (outcome.probabilities <= 1))
+            assert len(outcome.counterpart_ids) == outcome.num_new_pairs
+            # matches are sorted by decreasing probability and above 0.5
+            probabilities = [p for _, p in outcome.matches]
+            assert probabilities == sorted(probabilities, reverse=True)
+            assert all(p >= 0.5 for p in probabilities)
+
+    def test_insert_time_probabilities_align_with_pairs(self, streamed_fixture):
+        dataset, _, result = streamed_fixture
+        session = MatchingSession(FrozenModel.from_batch(result), bilateral=True)
+        for profile, side in interleave_profiles(dataset.first, dataset.second):
+            session.insert(profile, side=side)
+        provisional = session.insert_time_probabilities()
+        assert provisional.shape == (session.num_pairs,)
+
+    def test_topk_policy_bounds_reported_matches(self, streamed_fixture):
+        dataset, _, result = streamed_fixture
+        replay = replay_stream(
+            dataset, FrozenModel.from_batch(result), online="topk", top_k=5
+        )
+        # the queue never admits more than its capacity per insert, and the
+        # total number of simultaneously retained pairs is bounded by K
+        assert replay.online_matches.max() <= 5
+        assert isinstance(replay.session.online, OnlineTopK)
+
+    def test_unknown_online_policy_rejected(self, streamed_fixture):
+        _, _, result = streamed_fixture
+        with pytest.raises(ValueError, match="unknown online policy"):
+            MatchingSession(
+                FrozenModel.from_batch(result), bilateral=True, online="bogus"
+            )
+
+    def test_frozen_model_requires_classifier(self, streamed_fixture):
+        _, _, result = streamed_fixture
+        stripped = type(result)(
+            retained_mask=result.retained_mask,
+            retained=result.retained,
+            probabilities=result.probabilities,
+            labels=result.labels,
+            training_set=result.training_set,
+            timer=result.timer,
+        )
+        with pytest.raises(ValueError, match="no classifier"):
+            FrozenModel.from_batch(stripped)
+
+
+class TestOnlineWEP:
+    def test_running_threshold_tracks_valid_scores(self):
+        policy = OnlineWEP()
+        assert policy.threshold == 0.5
+        admitted = policy.admit(np.array([0.9, 0.2, 0.7]), np.arange(3))
+        assert policy.threshold == pytest.approx(0.8)
+        assert admitted.tolist() == [True, False, False]
+        admitted = policy.admit(np.array([0.85, 0.4]), np.arange(3, 5))
+        # running average over {0.9, 0.7, 0.85}
+        assert policy.threshold == pytest.approx((0.9 + 0.7 + 0.85) / 3)
+        assert admitted.tolist() == [True, False]
+
+
+class TestBootstrapTraining:
+    def test_train_frozen_model_on_bootstrap(self):
+        dataset = load_benchmark("DblpAcm", seed=7, scale=0.15)
+        model = train_frozen_model(dataset, bootstrap_fraction=0.6, seed=1)
+        assert model.feature_set == tuple(BLAST_FEATURE_SET)
+        scores = model.score(np.zeros((3, len(model.feature_set))))
+        assert scores.shape == (3,)
+
+    def test_bootstrap_without_duplicates_raises_clear_error(self):
+        dataset = load_benchmark("DblpAcm", seed=7, scale=0.15)
+        # ground truth restricted to a prefix with no duplicate: build a
+        # dataset whose duplicates all live outside the bootstrap
+        truncated = type(dataset)(
+            name=dataset.name,
+            first=dataset.first,
+            second=dataset.second,
+            ground_truth=type(dataset.ground_truth)(
+                [(0, len(dataset.first) + len(dataset.second) - 1)],
+                dataset.ground_truth.index_space,
+            ),
+            profile=dataset.profile,
+        )
+        with pytest.raises(StreamTrainingError, match="no ground-truth duplicate"):
+            split_bootstrap(truncated, 0.02)
+
+    def test_bootstrap_fraction_validated(self):
+        dataset = load_benchmark("DblpAcm", seed=7, scale=0.15)
+        with pytest.raises(ValueError, match="fraction"):
+            split_bootstrap(dataset, 0.0)

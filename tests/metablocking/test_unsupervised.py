@@ -41,6 +41,19 @@ class TestBlockingGraph:
         for node, edges in adjacency.items():
             assert degrees[node] == len(edges)
 
+    @pytest.mark.parametrize("scheme", ["CBS", "JS", "WJS", "CF-IBF", "EJS"])
+    def test_sparse_builder_matches_loop_builder(
+        self, small_blocks, prepared_dblpacm, scheme
+    ):
+        """The CSR-backed default builder reproduces the per-pair builder."""
+        for blocks in (small_blocks, prepared_dblpacm.blocks):
+            sparse_graph = build_blocking_graph(blocks, scheme=scheme)
+            loop_graph = build_blocking_graph(blocks, scheme=scheme, backend="loop")
+            assert sparse_graph.scheme_name == loop_graph.scheme_name
+            np.testing.assert_allclose(
+                sparse_graph.weights, loop_graph.weights, rtol=1e-9, atol=1e-12
+            )
+
 
 class TestUnsupervisedPruning:
     @pytest.mark.parametrize(

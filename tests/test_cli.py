@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro import __version__
 from repro.cli import EXPERIMENTS, build_parser, main
 
 
@@ -11,6 +12,19 @@ class TestParser:
         output = capsys.readouterr().out
         for name in ("table2", "fig5", "table5", "fig17-18"):
             assert name in output
+
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert __version__ in capsys.readouterr().out
+
+    def test_backend_defaults_to_sparse(self):
+        parser = build_parser()
+        args = parser.parse_args(["run", "table2"])
+        assert args.backend == "sparse"
+        args = parser.parse_args(["quickstart"])
+        assert args.backend == "sparse"
 
     def test_run_requires_known_experiment(self):
         parser = build_parser()
@@ -60,3 +74,60 @@ class TestExecution:
         output = capsys.readouterr().out
         assert "before meta-blocking" in output
         assert "after  meta-blocking" in output
+
+
+class TestStream:
+    def test_stream_runs_end_to_end(self, capsys):
+        exit_code = main(
+            ["stream", "--dataset", "DblpAcm", "--scale", "0.1", "--limit", "200"]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "per-insert latency" in output
+        assert "pairs retained" in output
+
+    def test_stream_handles_sources_sharing_id_values(self, tmp_path, capsys):
+        """Both CSV sources numbering entities 0..N is a supported layout."""
+        rows = "".join(f"{n},item {n} common token\n" for n in range(6))
+        (tmp_path / "first.csv").write_text("id,name\n" + rows)
+        (tmp_path / "second.csv").write_text("id,name\n" + rows)
+        (tmp_path / "ground_truth.csv").write_text(
+            "first_id,second_id\n" + "".join(f"{n},{n}\n" for n in range(6))
+        )
+        exit_code = main(["stream", "--dataset-dir", str(tmp_path), "--bootstrap", "1.0"])
+        assert exit_code == 0
+        assert "pairs retained" in capsys.readouterr().out
+
+    def test_stream_invalid_options_give_argparse_errors(self, capsys):
+        for argv in (
+            ["stream", "--bootstrap", "1.5"],
+            ["stream", "--online", "topk", "--top-k", "0"],
+        ):
+            with pytest.raises(SystemExit) as excinfo:
+                main(argv)
+            assert excinfo.value.code == 2
+        assert "Traceback" not in capsys.readouterr().err
+
+    def test_stream_without_ground_truth_gives_argparse_error(self, tmp_path, capsys):
+        (tmp_path / "first.csv").write_text("id,name\n1,apple iphone\n2,samsung s20\n")
+        (tmp_path / "second.csv").write_text("id,name\n10,iphone apple\n11,galaxy s20\n")
+        with pytest.raises(SystemExit) as excinfo:
+            main(["stream", "--dataset-dir", str(tmp_path)])
+        assert excinfo.value.code == 2
+        error = capsys.readouterr().err
+        assert "no ground truth" in error
+        assert "Traceback" not in error
+
+    def test_stream_with_useless_bootstrap_gives_argparse_error(self, tmp_path, capsys):
+        rows_first = "".join(f"{n},product {n} widget\n" for n in range(10))
+        rows_second = "".join(f"{n + 100},gadget {n} widget\n" for n in range(10))
+        (tmp_path / "first.csv").write_text("id,name\n" + rows_first)
+        (tmp_path / "second.csv").write_text("id,name\n" + rows_second)
+        # the only duplicate involves the LAST entities, outside the bootstrap
+        (tmp_path / "ground_truth.csv").write_text("first_id,second_id\n9,109\n")
+        with pytest.raises(SystemExit) as excinfo:
+            main(["stream", "--dataset-dir", str(tmp_path), "--bootstrap", "0.2"])
+        assert excinfo.value.code == 2
+        error = capsys.readouterr().err
+        assert "no ground-truth duplicate" in error
+        assert "Traceback" not in error
