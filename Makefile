@@ -5,12 +5,13 @@
 #   make test-fast         - tier-1 suite without the perf smoke tests
 #   make bench-smoke       - quick feature-runtime bench incl. backend speedup
 #   make bench-stream      - incremental streaming vs batch recompute bench
+#   make bench-blocking    - block-preparation bench (loop vs array backend)
 #   make bench             - the full pytest-benchmark harness
 
 PYTHON ?= python
 PYTEST  = PYTHONPATH=src $(PYTHON) -m pytest
 
-.PHONY: test test-equivalence test-fast bench-smoke bench-stream bench
+.PHONY: test test-equivalence test-fast bench-smoke bench-stream bench-blocking bench
 
 test:
 	$(PYTEST) -x -q
@@ -26,6 +27,9 @@ bench-smoke:
 
 bench-stream:
 	$(PYTEST) -q benchmarks/bench_incremental_vs_batch.py
+
+bench-blocking:
+	$(PYTEST) -q benchmarks/bench_blocking_runtime.py
 
 bench:
 	$(PYTEST) -q benchmarks/ -o python_files='bench_*.py' --benchmark-only

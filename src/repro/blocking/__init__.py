@@ -1,5 +1,12 @@
 """Schema-agnostic blocking methods and block-cleaning steps."""
 
+from .arrayops import (
+    BLOCKING_BACKENDS,
+    MembershipMatrix,
+    assemble_blocks,
+    prepare_blocks_array,
+    resolve_blocking_backend,
+)
 from .base import BlockingMethod
 from .candidate_extraction import PreparedBlocks, extract_candidates, prepare_blocks
 from .filtering import filter_blocks
@@ -10,15 +17,20 @@ from .suffix_arrays import SuffixArraysBlocking
 from .token_blocking import TokenBlocking
 
 __all__ = [
+    "BLOCKING_BACKENDS",
     "BlockingMethod",
+    "MembershipMatrix",
     "PreparedBlocks",
     "QGramsBlocking",
     "StandardBlocking",
     "SuffixArraysBlocking",
     "TokenBlocking",
+    "assemble_blocks",
     "extract_candidates",
     "filter_blocks",
     "prepare_blocks",
+    "prepare_blocks_array",
     "purge_by_comparison_cardinality",
     "purge_oversized_blocks",
+    "resolve_blocking_backend",
 ]

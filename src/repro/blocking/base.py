@@ -39,6 +39,15 @@ class BlockingMethod(ABC):
     def signatures_of(self, profile: EntityProfile) -> Set[str]:
         """Return the blocking signatures of one entity profile."""
 
+    def signature_lists(self, collection: EntityCollection) -> List[List[str]]:
+        """Per-profile signature lists for batch (array-backend) assembly.
+
+        Duplicates are allowed — the array backend deduplicates while
+        dictionary-encoding the signatures — so subclasses may override this
+        to skip the per-profile set building of :meth:`signatures_of`.
+        """
+        return [list(self.signatures_of(profile)) for profile in collection]
+
     # -- shared machinery -------------------------------------------------------
     def _signature_index(
         self, collection: EntityCollection, node_offset: int

@@ -5,18 +5,36 @@ aggregating, for every entity, the set of entities it shares at least one
 block with (redundancy removal).  :func:`prepare_blocks` chains the paper's
 exact pre-processing: Token Blocking -> Block Purging -> Block Filtering ->
 candidate extraction.
+
+Two interchangeable backends run the pipeline, mirroring the feature-backend
+pattern of :mod:`repro.weights.sparse`:
+
+* ``"array"`` (the default) — the array-native engine of
+  :mod:`repro.blocking.arrayops`: batched tokenization, CSR block assembly,
+  array purging/filtering passes and chunked vectorized pair extraction.
+  It also hands the entity x block CSR incidence structure forward on
+  :attr:`PreparedBlocks.csr` so feature generation never rebuilds it.
+* ``"loop"`` — the readable object-based reference pipeline, kept as the
+  correctness oracle; equivalence tests assert both backends produce
+  identical blocks and candidate pairs.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
 
 from ..datamodel import BlockCollection, CandidateSet, EntityCollection
+from ..utils.timing import StageTimer
+from ..weights.sparse import EntityBlockCSR
+from .arrayops import prepare_blocks_array, resolve_blocking_backend
 from .base import BlockingMethod
 from .filtering import filter_blocks
 from .purging import purge_oversized_blocks
 from .token_blocking import TokenBlocking
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..weights import BlockStatistics
 
 
 def extract_candidates(blocks: BlockCollection) -> CandidateSet:
@@ -36,6 +54,31 @@ class PreparedBlocks:
     blocks: BlockCollection
     #: the distinct candidate pairs of ``blocks``
     candidates: CandidateSet
+    #: entity x block CSR of ``blocks``, prebuilt by the array backend and
+    #: reused by the sparse feature backend / blocking-graph builder
+    #: (``None`` on the loop backend: statistics build it lazily instead)
+    csr: Optional[EntityBlockCSR] = field(default=None, compare=False)
+    #: the blocking backend that produced this preparation
+    backend: str = "loop"
+    #: per-stage wall-clock of the preparation (blocking, purging,
+    #: filtering, candidate-extraction)
+    timer: Optional[StageTimer] = field(default=None, compare=False)
+    _stats: Optional["BlockStatistics"] = field(
+        default=None, init=False, repr=False, compare=False
+    )
+
+    def statistics(self) -> "BlockStatistics":
+        """Block statistics of ``blocks``, reusing the prepared CSR (cached).
+
+        This is the CSR handoff contract: statistics created here inherit
+        :attr:`csr`, so a pipeline run over this preparation never rebuilds
+        the incidence structure.
+        """
+        if self._stats is None:
+            from ..weights import BlockStatistics
+
+            self._stats = BlockStatistics(self.blocks, csr=self.csr)
+        return self._stats
 
 
 def prepare_blocks(
@@ -46,6 +89,8 @@ def prepare_blocks(
     filtering_ratio: float = 0.8,
     apply_purging: bool = True,
     apply_filtering: bool = True,
+    backend: str = "array",
+    timer: Optional[StageTimer] = None,
 ) -> PreparedBlocks:
     """Run the paper's block-preparation pipeline.
 
@@ -61,15 +106,50 @@ def prepare_blocks(
         Block Filtering retention ratio (0.8 = drop each entity's largest 20 %).
     apply_purging, apply_filtering:
         Toggle the cleaning steps (the scalability experiments skip filtering).
+    backend:
+        ``"array"`` (vectorized, the default) or ``"loop"`` (the object-based
+        reference oracle); both produce identical prepared blocks.
+    timer:
+        Optional :class:`StageTimer`; the preparation's total wall-clock is
+        added to its ``"block-preparation"`` stage (the per-stage breakdown
+        stays on :attr:`PreparedBlocks.timer`).
     """
-    method = blocking if blocking is not None else TokenBlocking()
-    raw = method.build_blocks(first, second).without_empty_blocks()
-    purged = purge_oversized_blocks(raw, purging_fraction) if apply_purging else raw
-    filtered = filter_blocks(purged, filtering_ratio) if apply_filtering else purged
-    candidates = extract_candidates(filtered)
+    resolve_blocking_backend(backend)
+    prep_timer = StageTimer()
+
+    if backend == "array":
+        result = prepare_blocks_array(
+            first,
+            second,
+            blocking=blocking,
+            purging_fraction=purging_fraction,
+            filtering_ratio=filtering_ratio,
+            apply_purging=apply_purging,
+            apply_filtering=apply_filtering,
+            timer=prep_timer,
+        )
+        raw, purged, filtered = result.raw, result.purged, result.filtered
+        candidates, csr = result.candidates, result.csr
+    else:
+        method = blocking if blocking is not None else TokenBlocking()
+        with prep_timer.stage("blocking"):
+            raw = method.build_blocks(first, second).without_empty_blocks()
+        with prep_timer.stage("purging"):
+            purged = purge_oversized_blocks(raw, purging_fraction) if apply_purging else raw
+        with prep_timer.stage("filtering"):
+            filtered = filter_blocks(purged, filtering_ratio) if apply_filtering else purged
+        with prep_timer.stage("candidate-extraction"):
+            candidates = extract_candidates(filtered)
+        csr = None
+
+    if timer is not None:
+        timer.add("block-preparation", prep_timer.total)
     return PreparedBlocks(
         raw_blocks=raw,
         purged_blocks=purged,
         blocks=filtered,
         candidates=candidates,
+        csr=csr,
+        backend=backend,
+        timer=prep_timer,
     )

@@ -8,10 +8,10 @@ redundancy-positive blocking method.
 
 from __future__ import annotations
 
-from typing import Set
+from typing import List, Set
 
-from ..datamodel import EntityProfile
-from ..utils.text import distinct_tokens
+from ..datamodel import EntityCollection, EntityProfile
+from ..utils.text import distinct_tokens, tokens_of_texts
 from .base import BlockingMethod
 
 
@@ -38,6 +38,13 @@ class TokenBlocking(BlockingMethod):
     def signatures_of(self, profile: EntityProfile) -> Set[str]:
         return distinct_tokens(
             profile.text(),
+            min_length=self.min_token_length,
+            remove_stop_words=self.remove_stop_words,
+        )
+
+    def signature_lists(self, collection: EntityCollection) -> List[List[str]]:
+        return tokens_of_texts(
+            (profile.text() for profile in collection),
             min_length=self.min_token_length,
             remove_stop_words=self.remove_stop_words,
         )

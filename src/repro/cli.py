@@ -21,6 +21,7 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 from . import __version__
 from . import experiments as ex
+from .blocking import BLOCKING_BACKENDS
 from .core.pruning import PRUNING_ALGORITHMS
 from .datasets import CLEAN_CLEAN_ORDER
 from .weights import BACKENDS
@@ -33,11 +34,14 @@ def _config_from_args(args: argparse.Namespace) -> ex.ExperimentConfig:
         training_size=args.training_size,
         seed=args.seed,
         backend=args.backend,
+        blocking_backend=args.blocking_backend,
     )
 
 
 def _run_table2(args: argparse.Namespace) -> str:
-    rows = ex.run_block_quality(tuple(args.datasets), seed=args.seed)
+    rows = ex.run_block_quality(
+        tuple(args.datasets), seed=args.seed, blocking_backend=args.blocking_backend
+    )
     return ex.format_block_quality(rows)
 
 
@@ -111,7 +115,10 @@ def _run_fig1516(args: argparse.Namespace) -> str:
 
 def _run_scalability(args: argparse.Namespace) -> str:
     config = ex.ExperimentConfig(
-        repetitions=args.repetitions, seed=args.seed, backend=args.backend
+        repetitions=args.repetitions,
+        seed=args.seed,
+        backend=args.backend,
+        blocking_backend=args.blocking_backend,
     )
     result = ex.run_scalability(config, dataset_names=("D10K", "D50K", "D100K"), scale=0.02)
     table6 = ex.run_table6("D100K", iterations=3, config=config, scale=0.01)
@@ -145,9 +152,13 @@ def _run_quickstart(args: argparse.Namespace) -> str:
         load_benchmark,
         prepare_blocks,
     )
+    from .utils.timing import StageTimer
 
     dataset = load_benchmark(args.datasets[0], seed=args.seed)
-    prepared = prepare_blocks(dataset.first, dataset.second)
+    prep_timer = StageTimer()
+    prepared = prepare_blocks(
+        dataset.first, dataset.second, backend=args.blocking_backend, timer=prep_timer
+    )
     before = evaluate_candidates(prepared.candidates, dataset.ground_truth)
     pipeline = GeneralizedSupervisedMetaBlocking(
         pruning="BLAST",
@@ -155,13 +166,24 @@ def _run_quickstart(args: argparse.Namespace) -> str:
         seed=args.seed,
         backend=args.backend,
     )
-    result = pipeline.run(prepared.blocks, prepared.candidates, dataset.ground_truth)
+    result = pipeline.run(
+        prepared.blocks,
+        prepared.candidates,
+        dataset.ground_truth,
+        stats=prepared.statistics(),
+    )
     after = evaluate_result(result, dataset.ground_truth)
+    stages = prep_timer.merge(result.timer)
+    stage_text = " ".join(
+        f"{name}={seconds:.3f}s" for name, seconds in stages.as_dict().items()
+    )
     return (
-        f"{dataset.name}: {len(prepared.candidates)} candidate pairs\n"
+        f"{dataset.name}: {len(prepared.candidates)} candidate pairs "
+        f"(blocking backend {prepared.backend!r})\n"
         f"  before meta-blocking: recall={before.recall:.3f} precision={before.precision:.5f}\n"
         f"  after  meta-blocking: recall={after.recall:.3f} precision={after.precision:.3f} "
-        f"f1={after.f1:.3f} ({result.retained_count} pairs retained)"
+        f"f1={after.f1:.3f} ({result.retained_count} pairs retained)\n"
+        f"  RT by stage: {stage_text} (total {stages.total:.3f}s)"
     )
 
 
@@ -269,6 +291,14 @@ def build_parser() -> argparse.ArgumentParser:
             default="sparse",
             help="feature-generation backend: 'sparse' (vectorized, default) "
             "or 'loop' (the per-pair reference oracle)",
+        )
+        sub.add_argument(
+            "--blocking-backend",
+            choices=list(BLOCKING_BACKENDS),
+            default="array",
+            dest="blocking_backend",
+            help="block-preparation backend: 'array' (vectorized, default) "
+            "or 'loop' (the object-based reference oracle)",
         )
 
     run_parser = subparsers.add_parser("run", help="regenerate one table/figure")

@@ -30,6 +30,7 @@ from ..evaluation.metrics import EffectivenessReport, average_reports, evaluate_
 from ..utils.rng import SeedLike, spawn_seeds
 from ..utils.timing import StageTimer
 from ..weights import BlockStatistics, PAPER_FEATURES, all_feature_subsets
+from ..weights.sparse import EntityBlockCSR
 from .pipeline import GeneralizedSupervisedMetaBlocking
 from .pruning import SupervisedPruningAlgorithm
 
@@ -87,11 +88,14 @@ class PreparedDataset:
     candidates: CandidateSet
     ground_truth: GroundTruth
     stats: Optional[BlockStatistics] = None
+    #: optional prebuilt entity x block CSR of ``blocks`` (the array blocking
+    #: backend's handoff), inherited by the statistics built here
+    csr: Optional["EntityBlockCSR"] = None
 
     def statistics(self) -> BlockStatistics:
-        """Return (and cache) the block statistics."""
+        """Return (and cache) the block statistics, reusing a prepared CSR."""
         if self.stats is None:
-            self.stats = BlockStatistics(self.blocks)
+            self.stats = BlockStatistics(self.blocks, csr=self.csr)
         return self.stats
 
 

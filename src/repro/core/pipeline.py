@@ -231,7 +231,20 @@ class GeneralizedSupervisedMetaBlocking:
         """Convenience wrapper: block preparation + pipeline in one call.
 
         Extra keyword arguments are forwarded to
-        :func:`repro.blocking.prepare_blocks`.
+        :func:`repro.blocking.prepare_blocks`.  The prepared CSR incidence
+        structure is handed to the feature backend (no rebuild), and the
+        preparation's wall-clock is recorded as the ``"block-preparation"``
+        stage of the result's timer — so RT no longer silently starts at
+        feature generation.
         """
         prepared: PreparedBlocks = prepare_blocks(first, second, **prepare_kwargs)
-        return self.run(prepared.blocks, prepared.candidates, ground_truth, seed=seed)
+        result = self.run(
+            prepared.blocks,
+            prepared.candidates,
+            ground_truth,
+            stats=prepared.statistics(),
+            seed=seed,
+        )
+        if prepared.timer is not None:
+            result.timer.add("block-preparation", prepared.timer.total)
+        return result

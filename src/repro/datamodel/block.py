@@ -18,6 +18,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from .entity import EntityIndexSpace
 
 
@@ -139,6 +141,24 @@ class BlockCollection:
             for node in block.all_entities():
                 index.setdefault(node, []).append(block_id)
         return index
+
+    def membership_arrays(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Flatten into parallel ``(block_ids, node_ids)`` membership arrays.
+
+        One entry per (entity, block) assignment, in block order.  This is the
+        array-native form of :meth:`entity_block_index` consumed by the CSR
+        builders in :mod:`repro.weights.sparse`.
+        """
+        block_parts: List[np.ndarray] = []
+        node_parts: List[np.ndarray] = []
+        for block_id, block in enumerate(self._blocks):
+            members = block.all_entities()
+            if members:
+                node_parts.append(np.asarray(members, dtype=np.int64))
+                block_parts.append(np.full(len(members), block_id, dtype=np.int64))
+        if not block_parts:
+            return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+        return np.concatenate(block_parts), np.concatenate(node_parts)
 
     def average_blocks_per_entity(self) -> float:
         """Average number of block memberships per entity that appears in B."""

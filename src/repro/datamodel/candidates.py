@@ -87,6 +87,20 @@ class CandidateSet:
         return cls(left, right, index_space)
 
     @classmethod
+    def from_packed_keys(
+        cls, keys: np.ndarray, index_space: EntityIndexSpace
+    ) -> "CandidateSet":
+        """Build from sorted distinct packed keys ``left * total + right``.
+
+        ``total`` is ``max(index_space.total, 1)`` — the stride the array
+        blocking backend packs candidate pairs with.  No tuples or Python
+        sets are materialized.
+        """
+        total = np.int64(max(index_space.total, 1))
+        keys = np.asarray(keys, dtype=np.int64)
+        return cls(keys // total, keys % total, index_space)
+
+    @classmethod
     def from_blocks(cls, blocks: BlockCollection) -> "CandidateSet":
         """Extract the distinct candidate pairs of a block collection.
 

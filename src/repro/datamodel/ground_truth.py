@@ -26,6 +26,8 @@ class GroundTruth:
             canonical.add((i, j) if i < j else (j, i))
         self._pairs = canonical
         self.index_space = index_space
+        self._packed: Optional[np.ndarray] = None
+        self._packed_stride: int = 0
 
     # -- constructors ----------------------------------------------------------
     @classmethod
@@ -74,11 +76,58 @@ class GroundTruth:
         """True when nodes ``i`` and ``j`` are duplicates."""
         return (i, j) in self
 
+    def packed_pairs(self) -> np.ndarray:
+        """The duplicate pairs as sorted packed ``i * stride + j`` keys (cached).
+
+        The stride is ``max(index_space.total, largest pair id + 1, 1)`` so
+        packing is collision-free even for pairs constructed outside the
+        declared index space; the packed form powers the vectorized
+        :meth:`labels_for` lookup.
+        """
+        if self._packed is None:
+            stride = max(self.index_space.total, 1)
+            if self._pairs:
+                # pairs are canonical (i < j), so j carries the largest id
+                stride = max(stride, max(j for _, j in self._pairs) + 1)
+                keys = np.fromiter(
+                    (i * stride + j for i, j in self._pairs),
+                    dtype=np.int64,
+                    count=len(self._pairs),
+                )
+                keys.sort()
+            else:
+                keys = np.empty(0, dtype=np.int64)
+            self._packed = keys
+            self._packed_stride = stride
+        return self._packed
+
     def labels_for(self, candidates: CandidateSet) -> np.ndarray:
         """Return a boolean label per candidate pair (True = matching).
 
         The array is aligned with the candidate set's storage order, so it can
         be used directly as classification target or evaluation reference.
+        Labels are computed by a packed-key ``np.searchsorted`` lookup — no
+        per-pair tuple allocations; :meth:`labels_for_pairs` remains the
+        dict-style reference (and the fallback when the candidate node ids
+        exceed the packing stride).
+        """
+        if len(candidates) == 0:
+            return np.zeros(0, dtype=bool)
+        packed = self.packed_pairs()
+        if packed.size == 0:
+            return np.zeros(len(candidates), dtype=bool)
+        stride = self._packed_stride
+        if int(candidates.right.max()) >= stride:
+            return self.labels_for_pairs(candidates)
+        keys = candidates.left * np.int64(stride) + candidates.right
+        positions = np.minimum(np.searchsorted(packed, keys), packed.size - 1)
+        return packed[positions] == keys
+
+    def labels_for_pairs(self, candidates: CandidateSet) -> np.ndarray:
+        """Reference per-pair labelling over the canonical tuple set.
+
+        Kept for API compatibility (and as the oracle the vectorized
+        :meth:`labels_for` is tested against).
         """
         labels = np.zeros(len(candidates), dtype=bool)
         pair_set = self._pairs

@@ -55,6 +55,10 @@ class ExperimentConfig:
         Feature-generation backend, ``"sparse"`` (vectorized, the default)
         or ``"loop"`` (the per-pair reference oracle); see
         :mod:`repro.weights.sparse`.
+    blocking_backend:
+        Block-preparation backend, ``"array"`` (vectorized, the default) or
+        ``"loop"`` (the object-based reference oracle); see
+        :mod:`repro.blocking.arrayops`.
     """
 
     dataset_names: Sequence[str] = field(
@@ -66,6 +70,7 @@ class ExperimentConfig:
     scale: Optional[float] = None
     classifier: str = "logistic"
     backend: str = "sparse"
+    blocking_backend: str = "array"
 
     def classifier_factory(self) -> Callable:
         """Return the classifier factory matching the configuration."""
@@ -89,38 +94,51 @@ class ExperimentConfig:
 
 
 def prepare_benchmark_dataset(
-    name: str, seed: SeedLike = 0, scale: Optional[float] = None
+    name: str,
+    seed: SeedLike = 0,
+    scale: Optional[float] = None,
+    blocking_backend: str = "array",
 ) -> PreparedDataset:
     """Generate one Clean-Clean benchmark and run the blocking pipeline on it."""
     dataset = load_benchmark(name, seed=seed, scale=scale)
-    prepared = prepare_blocks(dataset.first, dataset.second)
+    prepared = prepare_blocks(dataset.first, dataset.second, backend=blocking_backend)
     return PreparedDataset(
         name=name,
         blocks=prepared.blocks,
         candidates=prepared.candidates,
         ground_truth=dataset.ground_truth,
+        csr=prepared.csr,
     )
 
 
 def prepare_benchmark_datasets(config: ExperimentConfig) -> List[PreparedDataset]:
     """Prepare every benchmark named in the configuration."""
     return [
-        prepare_benchmark_dataset(name, seed=config.seed, scale=config.scale)
+        prepare_benchmark_dataset(
+            name,
+            seed=config.seed,
+            scale=config.scale,
+            blocking_backend=config.blocking_backend,
+        )
         for name in config.dataset_names
     ]
 
 
 def prepare_dirty_dataset(
-    name: str, seed: SeedLike = 0, scale: Optional[float] = None
+    name: str,
+    seed: SeedLike = 0,
+    scale: Optional[float] = None,
+    blocking_backend: str = "array",
 ) -> PreparedDataset:
     """Generate one Dirty ER dataset and run Token Blocking + cleaning on it."""
     dataset = load_dirty_dataset(name, seed=seed, scale=scale)
-    prepared = prepare_blocks(dataset.collection, None)
+    prepared = prepare_blocks(dataset.collection, None, backend=blocking_backend)
     return PreparedDataset(
         name=name,
         blocks=prepared.blocks,
         candidates=prepared.candidates,
         ground_truth=dataset.ground_truth,
+        csr=prepared.csr,
     )
 
 
@@ -128,9 +146,15 @@ def prepare_dirty_datasets(
     names: Sequence[str] = DIRTY_ORDER,
     seed: SeedLike = 0,
     scale: Optional[float] = None,
+    blocking_backend: str = "array",
 ) -> List[PreparedDataset]:
     """Prepare the D10K–D300K series (scaled) for the scalability experiments."""
-    return [prepare_dirty_dataset(name, seed=seed, scale=scale) for name in names]
+    return [
+        prepare_dirty_dataset(
+            name, seed=seed, scale=scale, blocking_backend=blocking_backend
+        )
+        for name in names
+    ]
 
 
 # -- standard algorithm configurations -----------------------------------------------

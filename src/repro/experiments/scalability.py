@@ -114,7 +114,12 @@ def run_scalability(
 ) -> ScalabilityResult:
     """Run the Figure 17/18 scalability study over the Dirty ER datasets."""
     config = config or ExperimentConfig(repetitions=3)
-    datasets = prepare_dirty_datasets(dataset_names, seed=config.seed, scale=scale)
+    datasets = prepare_dirty_datasets(
+        dataset_names,
+        seed=config.seed,
+        scale=scale,
+        blocking_backend=config.blocking_backend,
+    )
     runner = ExperimentRunner(repetitions=config.repetitions, seed=config.seed)
     outcomes = runner.run_matrix(scalability_pipelines(config), datasets)
     candidate_counts = {dataset.name: len(dataset.candidates) for dataset in datasets}
@@ -154,7 +159,12 @@ def run_table6(
     of the scalability measurements.
     """
     config = config or ExperimentConfig()
-    dataset = prepare_dirty_datasets([dataset_name], seed=config.seed, scale=scale)[0]
+    dataset = prepare_dirty_datasets(
+        [dataset_name],
+        seed=config.seed,
+        scale=scale,
+        blocking_backend=config.blocking_backend,
+    )[0]
     stats = dataset.statistics()
 
     snapshots: List[FittedModelSnapshot] = []

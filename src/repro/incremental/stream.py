@@ -111,7 +111,9 @@ def train_frozen_model(
         backend=backend,
     )
     try:
-        result = pipeline.run(prepared.blocks, prepared.candidates, truth)
+        result = pipeline.run(
+            prepared.blocks, prepared.candidates, truth, stats=prepared.statistics()
+        )
     except ValueError as error:
         raise StreamTrainingError(
             f"cannot train the frozen classifier on the {dataset.name} bootstrap: "

@@ -15,6 +15,7 @@ import numpy as np
 
 from ..datamodel import BlockCollection, CandidateSet
 from ..weights import BlockStatistics, WeightingScheme, get_scheme
+from ..weights.sparse import EntityBlockCSR
 
 
 @dataclass
@@ -59,6 +60,7 @@ def build_blocking_graph(
     candidates: Optional[CandidateSet] = None,
     stats: Optional[BlockStatistics] = None,
     backend: str = "sparse",
+    csr: Optional["EntityBlockCSR"] = None,
 ) -> BlockingGraph:
     """Build the blocking graph of ``blocks`` weighted by ``scheme``.
 
@@ -76,10 +78,15 @@ def build_blocking_graph(
         incidence structure of :mod:`repro.weights.sparse`, computing all
         edge weights in one batched intersection pass; ``"loop"`` is the
         per-pair reference builder the equivalence tests compare against.
+    csr:
+        Optional prebuilt entity x block CSR of ``blocks`` (e.g.
+        :attr:`repro.blocking.PreparedBlocks.csr`), seeded into the
+        statistics so the sparse backend skips the incidence rebuild.
+        Ignored when ``stats`` is given.
     """
     scheme_obj = get_scheme(scheme) if isinstance(scheme, str) else scheme
     pair_set = candidates if candidates is not None else CandidateSet.from_blocks(blocks)
-    statistics = stats if stats is not None else BlockStatistics(blocks)
+    statistics = stats if stats is not None else BlockStatistics(blocks, csr=csr)
     values = scheme_obj.compute_with_backend(pair_set, statistics, backend=backend)
     if values.shape[1] != 1:
         raise ValueError(

@@ -63,6 +63,23 @@ def distinct_tokens(
     return set(tokens(text, min_length=min_length, remove_stop_words=remove_stop_words))
 
 
+def tokens_of_texts(
+    texts: Iterable[str], min_length: int = 1, remove_stop_words: bool = False
+) -> List[List[str]]:
+    """Batch tokenization: one token list per text, duplicates kept.
+
+    This is the entry point of the array blocking backend, which
+    dictionary-encodes the flattened output and deduplicates during block
+    assembly — so, unlike :func:`distinct_tokens`, no per-text set is
+    built.  Delegates to :func:`tokens`, so both blocking backends share
+    one tokenization pipeline by construction.
+    """
+    return [
+        tokens(text, min_length=min_length, remove_stop_words=remove_stop_words)
+        for text in texts
+    ]
+
+
 def qgrams(text: str, q: int = 3) -> List[str]:
     """Return the character q-grams of every token of ``text``.
 

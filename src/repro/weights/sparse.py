@@ -95,28 +95,31 @@ class PairCooccurrence:
     sum_inverse_size: np.ndarray
 
 
-def build_entity_block_csr(blocks: BlockCollection) -> EntityBlockCSR:
-    """Flatten a block collection into the CSR incidence structure.
+def entity_block_csr_from_memberships(
+    nodes: np.ndarray,
+    block_ids: np.ndarray,
+    total_nodes: int,
+    num_blocks: int,
+    assume_unique: bool = False,
+) -> EntityBlockCSR:
+    """Build the CSR incidence structure from flat membership arrays.
 
-    Membership duplicates (an entity listed twice in one block) are collapsed,
-    matching the set semantics of the loop backend.
+    Parameters
+    ----------
+    nodes, block_ids:
+        Parallel arrays with one entry per (entity, block) assignment.
+    total_nodes, num_blocks:
+        Dimensions of the incidence structure.
+    assume_unique:
+        Skip deduplication when the (node, block) pairs are known distinct
+        (e.g. when handed over by the array blocking backend).
     """
-    total_nodes = blocks.index_space.total
-    num_blocks = len(blocks)
-
-    node_parts = []
-    block_parts = []
-    for block_id, block in enumerate(blocks):
-        members = block.all_entities()
-        if members:
-            node_parts.append(np.asarray(members, dtype=np.int64))
-            block_parts.append(np.full(len(members), block_id, dtype=np.int64))
-
-    if node_parts and num_blocks:
-        nodes = np.concatenate(node_parts)
-        block_ids = np.concatenate(block_parts)
-        # unique (node, block) keys, sorted by node then block id
-        keys = np.unique(nodes * np.int64(num_blocks) + block_ids)
+    nodes = np.asarray(nodes, dtype=np.int64)
+    block_ids = np.asarray(block_ids, dtype=np.int64)
+    if nodes.size and num_blocks:
+        # (node, block) keys, sorted by node then block id
+        keys = nodes * np.int64(num_blocks) + block_ids
+        keys = np.sort(keys) if assume_unique else np.unique(keys)
         nodes = keys // num_blocks
         block_ids = keys % num_blocks
     else:
@@ -127,6 +130,18 @@ def build_entity_block_csr(blocks: BlockCollection) -> EntityBlockCSR:
     indptr = np.zeros(total_nodes + 1, dtype=np.int64)
     np.cumsum(counts, out=indptr[1:])
     return EntityBlockCSR(indptr=indptr, indices=block_ids, num_blocks=num_blocks)
+
+
+def build_entity_block_csr(blocks: BlockCollection) -> EntityBlockCSR:
+    """Flatten a block collection into the CSR incidence structure.
+
+    Membership duplicates (an entity listed twice in one block) are collapsed,
+    matching the set semantics of the loop backend.
+    """
+    block_ids, nodes = blocks.membership_arrays()
+    return entity_block_csr_from_memberships(
+        nodes, block_ids, blocks.index_space.total, len(blocks)
+    )
 
 
 def _gather_rows(csr: EntityBlockCSR, nodes: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:

@@ -38,11 +38,27 @@ class BlockStatistics:
     ----------
     blocks:
         The (purged/filtered) block collection the candidate pairs come from.
+    csr:
+        Optional prebuilt entity x block CSR incidence structure of
+        ``blocks`` (the array blocking backend hands it over through
+        :meth:`repro.blocking.PreparedBlocks.statistics`), so the sparse
+        feature backend never rebuilds it.  Built lazily when omitted.
     """
 
-    def __init__(self, blocks: BlockCollection) -> None:
+    def __init__(
+        self, blocks: BlockCollection, csr: Optional[EntityBlockCSR] = None
+    ) -> None:
         self.blocks = blocks
         self.num_blocks = len(blocks)
+        if csr is not None and (
+            csr.num_blocks != len(blocks)
+            or csr.num_entities != blocks.index_space.total
+        ):
+            raise ValueError(
+                "precomputed CSR does not match the block collection "
+                f"({csr.num_entities} x {csr.num_blocks} vs "
+                f"{blocks.index_space.total} x {len(blocks)})"
+            )
 
         # per-block quantities
         self.block_sizes = np.array(
@@ -85,7 +101,7 @@ class BlockStatistics:
 
         self._lcp: Optional[np.ndarray] = None
         self._lcp_sparse: Optional[np.ndarray] = None
-        self._csr: Optional[EntityBlockCSR] = None
+        self._csr: Optional[EntityBlockCSR] = csr
         self._pair_cache = PairCooccurrenceCache()
 
     # -- sparse backend --------------------------------------------------------

@@ -1,0 +1,192 @@
+"""Equivalence tests: the ``array`` blocking backend vs the ``loop`` oracle.
+
+The array engine (:mod:`repro.blocking.arrayops`) must be block-for-block and
+pair-for-pair identical to the object-based reference pipeline — raw, purged
+and filtered collections, candidate pairs, and the handed-over CSR incidence
+structure — across unilateral and bilateral inputs, with and without
+purging/filtering, and under stop-word and minimum-token-length variants.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.blocking import (
+    BLOCKING_BACKENDS,
+    QGramsBlocking,
+    TokenBlocking,
+    prepare_blocks,
+)
+from repro.datamodel import EntityCollection, make_profile
+from repro.weights.sparse import build_entity_block_csr
+
+#: a small vocabulary (stop-words included) so random texts collide heavily
+WORDS = (
+    "apple", "samsung", "phone", "smartphone", "mate", "fold", "x",
+    "s20", "20", "the", "and", "a", "pro", "mini",
+)
+
+
+def make_collection(token_rows, name):
+    profiles = [
+        make_profile(f"{name}-{position}", text=" ".join(row))
+        for position, row in enumerate(token_rows)
+    ]
+    return EntityCollection(profiles, name=name)
+
+
+@st.composite
+def collections(draw, name, min_entities=1, max_entities=8):
+    n_entities = draw(st.integers(min_entities, max_entities))
+    rows = [
+        draw(st.lists(st.sampled_from(WORDS), min_size=0, max_size=6))
+        for _ in range(n_entities)
+    ]
+    return make_collection(rows, name)
+
+
+@st.composite
+def preparation_options(draw):
+    return dict(
+        purging_fraction=draw(st.sampled_from((0.3, 0.5, 1.0))),
+        filtering_ratio=draw(st.sampled_from((0.3, 0.5, 0.8, 1.0))),
+        apply_purging=draw(st.booleans()),
+        apply_filtering=draw(st.booleans()),
+    )
+
+
+@st.composite
+def token_blocking_variants(draw):
+    return TokenBlocking(
+        min_token_length=draw(st.sampled_from((1, 2))),
+        remove_stop_words=draw(st.booleans()),
+    )
+
+
+def assert_collections_identical(loop_blocks, array_blocks):
+    assert array_blocks.name == loop_blocks.name
+    assert len(array_blocks) == len(loop_blocks)
+    for loop_block, array_block in zip(loop_blocks, array_blocks):
+        assert array_block.key == loop_block.key
+        assert array_block.entities_first == loop_block.entities_first
+        assert array_block.entities_second == loop_block.entities_second
+
+
+def assert_equivalent(first, second, blocking=None, **options):
+    loop = prepare_blocks(first, second, blocking=blocking, backend="loop", **options)
+    array = prepare_blocks(first, second, blocking=blocking, backend="array", **options)
+    assert_collections_identical(loop.raw_blocks, array.raw_blocks)
+    assert_collections_identical(loop.purged_blocks, array.purged_blocks)
+    assert_collections_identical(loop.blocks, array.blocks)
+    assert loop.candidates.as_tuples() == array.candidates.as_tuples()
+    assert loop.candidates.index_space == array.candidates.index_space
+    reference_csr = build_entity_block_csr(loop.blocks)
+    assert array.csr is not None
+    assert np.array_equal(array.csr.indptr, reference_csr.indptr)
+    assert np.array_equal(array.csr.indices, reference_csr.indices)
+    assert array.csr.num_blocks == reference_csr.num_blocks
+    return loop, array
+
+
+class TestPropertyEquivalence:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        first=collections(name="shop-1"),
+        second=collections(name="shop-2"),
+        options=preparation_options(),
+        blocking=token_blocking_variants(),
+    )
+    def test_bilateral(self, first, second, options, blocking):
+        assert_equivalent(first, second, blocking=blocking, **options)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        collection=collections(name="dirty", max_entities=10),
+        options=preparation_options(),
+        blocking=token_blocking_variants(),
+    )
+    def test_unilateral(self, collection, options, blocking):
+        assert_equivalent(collection, None, blocking=blocking, **options)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        first=collections(name="shop-1"),
+        second=collections(name="shop-2"),
+    )
+    def test_bilateral_qgrams_method(self, first, second):
+        """The generic signature_lists path (non-token blocking methods)."""
+        assert_equivalent(first, second, blocking=QGramsBlocking(q=3))
+
+
+class TestEdgeCases:
+    def test_empty_collections(self):
+        empty = make_collection([], "empty")
+        other = make_collection([["apple"]], "other")
+        loop, array = assert_equivalent(empty, None)
+        assert len(array.candidates) == 0
+        assert_equivalent(empty, other)
+        assert_equivalent(other, empty)
+
+    def test_no_shared_tokens(self):
+        first = make_collection([["apple"], ["samsung"]], "shop-1")
+        second = make_collection([["nokia"], ["huawei"]], "shop-2")
+        loop, array = assert_equivalent(first, second)
+        assert len(array.blocks) == 0
+        assert len(array.candidates) == 0
+
+    def test_all_profiles_identical(self):
+        rows = [["apple", "phone"]] * 5
+        assert_equivalent(make_collection(rows, "dirty"), None)
+        assert_equivalent(
+            make_collection(rows, "dirty"), None, purging_fraction=1.0
+        )
+
+    def test_paper_example(self, paper_example_profiles):
+        first, second, _ = paper_example_profiles
+        assert_equivalent(first, second)
+
+    def test_dblpacm_identical(self, dblpacm_dataset):
+        loop, array = assert_equivalent(dblpacm_dataset.first, dblpacm_dataset.second)
+        assert len(array.candidates) > 0
+
+    def test_degenerate_single_side_blocks_after_filtering(self):
+        """Filtering can strand clean-clean blocks with one populated side.
+
+        ``Block.is_bilateral`` then flips and the block spawns intra-source
+        pairs; the array path must reproduce that loop behaviour exactly.
+        """
+        first = make_collection(
+            [["apple", "x"], ["apple", "x"], ["apple"], ["apple"]], "shop-1"
+        )
+        second = make_collection([["apple", "x", "s20", "pro"]], "shop-2")
+        loop, array = assert_equivalent(
+            first, second, filtering_ratio=0.3, apply_purging=False
+        )
+        stranded = [block for block in loop.blocks if not block.is_bilateral]
+        assert stranded, "the construction must strand a single-side block"
+        # the stranded block spawns an intra-source pair both backends keep
+        assert (2, 3) in loop.candidates.as_tuples()
+
+
+class TestBackendSwitch:
+    def test_unknown_backend_rejected(self):
+        collection = make_collection([["apple"]], "dirty")
+        with pytest.raises(ValueError, match="unknown blocking backend"):
+            prepare_blocks(collection, None, backend="bogus")
+
+    @pytest.mark.parametrize("backend", BLOCKING_BACKENDS)
+    def test_backend_recorded(self, backend):
+        collection = make_collection([["apple", "x"], ["apple"]], "dirty")
+        prepared = prepare_blocks(collection, None, backend=backend)
+        assert prepared.backend == backend
+        assert prepared.timer is not None
+        assert set(prepared.timer.stages) == {
+            "blocking", "purging", "filtering", "candidate-extraction",
+        }
+
+    def test_array_is_the_default(self):
+        collection = make_collection([["apple", "x"], ["apple"]], "dirty")
+        prepared = prepare_blocks(collection, None)
+        assert prepared.backend == "array"
+        assert prepared.csr is not None

@@ -64,3 +64,58 @@ class TestGroundTruth:
         pairs = truth.pairs()
         pairs.add((9, 10))
         assert len(truth) == 2  # mutation of the copy does not leak
+
+
+class TestVectorizedLabels:
+    """The packed-key ``labels_for`` must match the tuple-set reference."""
+
+    def test_matches_reference_on_random_candidates(self):
+        rng = np.random.default_rng(42)
+        space = EntityIndexSpace(30, 25)
+        duplicates = set()
+        while len(duplicates) < 40:
+            i = int(rng.integers(0, 30))
+            j = int(rng.integers(30, 55))
+            duplicates.add((i, j))
+        truth = GroundTruth(duplicates, space)
+        pairs = set()
+        while len(pairs) < 200:
+            i = int(rng.integers(0, 54))
+            j = int(rng.integers(i + 1, 55))
+            pairs.add((i, j))
+        candidates = CandidateSet.from_pairs(pairs, space)
+        vectorized = truth.labels_for(candidates)
+        reference = truth.labels_for_pairs(candidates)
+        assert vectorized.dtype == bool
+        assert np.array_equal(vectorized, reference)
+        assert vectorized.sum() > 0  # the draw covers some duplicates
+
+    def test_empty_candidates_and_empty_truth(self):
+        space = EntityIndexSpace(4, 4)
+        truth = GroundTruth([], space)
+        empty = CandidateSet.from_pairs([], space)
+        assert truth.labels_for(empty).shape == (0,)
+        candidates = CandidateSet.from_pairs([(0, 5), (1, 6)], space)
+        assert truth.labels_for(candidates).tolist() == [False, False]
+
+    def test_falls_back_when_candidate_ids_exceed_the_space(self):
+        truth = GroundTruth([(0, 2)], EntityIndexSpace(3))
+        larger = CandidateSet.from_pairs([(0, 2), (0, 7)], EntityIndexSpace(8))
+        labels = truth.labels_for(larger)
+        assert np.array_equal(labels, truth.labels_for_pairs(larger))
+        assert labels.tolist() == [True, False]
+
+    def test_out_of_space_truth_pairs_do_not_alias(self):
+        # (0, 12) packed with the space's stride 10 would alias (1, 2)
+        truth = GroundTruth([(0, 12)], EntityIndexSpace(5, 5))
+        candidates = CandidateSet.from_pairs([(1, 2)], EntityIndexSpace(5, 5))
+        labels = truth.labels_for(candidates)
+        assert np.array_equal(labels, truth.labels_for_pairs(candidates))
+        assert labels.tolist() == [False]
+
+    def test_packed_pairs_sorted_and_cached(self, two_collections):
+        first, second = two_collections
+        truth = GroundTruth.from_id_pairs([("a2", "b2"), ("a1", "b1")], first, second)
+        packed = truth.packed_pairs()
+        assert np.all(np.diff(packed) > 0)
+        assert truth.packed_pairs() is packed

@@ -26,6 +26,15 @@ class TestParser:
         args = parser.parse_args(["quickstart"])
         assert args.backend == "sparse"
 
+    def test_blocking_backend_defaults_to_array(self):
+        parser = build_parser()
+        args = parser.parse_args(["run", "table2"])
+        assert args.blocking_backend == "array"
+        args = parser.parse_args(["quickstart", "--blocking-backend", "loop"])
+        assert args.blocking_backend == "loop"
+        with pytest.raises(SystemExit):
+            parser.parse_args(["run", "table2", "--blocking-backend", "bogus"])
+
     def test_run_requires_known_experiment(self):
         parser = build_parser()
         with pytest.raises(SystemExit):
