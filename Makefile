@@ -5,13 +5,14 @@
 #   make test-fast         - tier-1 suite without the perf smoke tests
 #   make bench-smoke       - quick feature-runtime bench incl. backend speedup
 #   make bench-stream      - incremental streaming vs batch recompute bench
+#   make bench-churn       - dynamic churn bench (delete latency, bulk loads)
 #   make bench-blocking    - block-preparation bench (loop vs array backend)
 #   make bench             - the full pytest-benchmark harness
 
 PYTHON ?= python
 PYTEST  = PYTHONPATH=src $(PYTHON) -m pytest
 
-.PHONY: test test-equivalence test-fast bench-smoke bench-stream bench-blocking bench
+.PHONY: test test-equivalence test-fast bench-smoke bench-stream bench-churn bench-blocking bench
 
 test:
 	$(PYTEST) -x -q
@@ -27,6 +28,9 @@ bench-smoke:
 
 bench-stream:
 	$(PYTEST) -q benchmarks/bench_incremental_vs_batch.py
+
+bench-churn:
+	$(PYTEST) -q benchmarks/bench_dynamic_churn.py
 
 bench-blocking:
 	$(PYTEST) -q benchmarks/bench_blocking_runtime.py

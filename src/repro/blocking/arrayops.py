@@ -78,6 +78,12 @@ def _sorted_unique(values: np.ndarray) -> np.ndarray:
     return _dedup_sorted(np.sort(values))
 
 
+#: Public alias: the incremental subsystem's bulk loader deduplicates its
+#: membership and candidate-pair keys with the same sort + adjacent-diff
+#: kernel the array blocking backend uses.
+sorted_unique = _sorted_unique
+
+
 def _merge_sorted_unique(a: np.ndarray, b: np.ndarray) -> np.ndarray:
     """Union of two sorted distinct arrays, as a sorted distinct array.
 

@@ -193,6 +193,7 @@ def _run_stream(args: argparse.Namespace, parser: argparse.ArgumentParser) -> st
         StreamTrainingError,
         evaluate_retained_ids,
         ground_truth_id_pairs,
+        live_truth_id_pairs,
         replay_stream,
         train_frozen_model,
     )
@@ -201,6 +202,8 @@ def _run_stream(args: argparse.Namespace, parser: argparse.ArgumentParser) -> st
         parser.error("--bootstrap must be a fraction in (0, 1]")
     if args.top_k < 1:
         parser.error("--top-k must be at least 1")
+    if not 0.0 <= args.deletes < 1.0:
+        parser.error("--deletes must be a fraction in [0, 1)")
 
     if args.dataset_dir is not None:
         try:
@@ -234,24 +237,32 @@ def _run_stream(args: argparse.Namespace, parser: argparse.ArgumentParser) -> st
         online=args.online,
         top_k=args.top_k,
         limit=args.limit,
+        delete_fraction=args.deletes,
+        churn_seed=args.seed,
     )
     final = replay.session.retained()
-    truth = ground_truth_id_pairs(dataset.ground_truth, dataset.first, dataset.second)
-    if args.limit is not None:
-        # only judge recall on duplicates whose entities were both streamed
-        index = replay.session.index
-        truth = {
-            (a, b)
-            for a, b in truth
-            if index.has_entity(a, 0) and index.has_entity(b, 1)
-        }
+    # judge recall against the duplicates the *live* index can still retain:
+    # entities never streamed (--limit) or since retracted (--deletes) are
+    # out of scope, not misses
+    truth = live_truth_id_pairs(
+        replay.session.index,
+        ground_truth_id_pairs(dataset.ground_truth, dataset.first, dataset.second),
+    )
     recall, precision = evaluate_retained_ids(final, truth)
     mean, p50, p95 = replay.latency_percentiles()
+    churn_text = ""
+    if replay.num_deletes:
+        churn_text = (
+            f"  deletes: {replay.num_deletes} entities retracted "
+            f"({int(replay.retraction_sizes.sum())} pairs, mean "
+            f"{replay.delete_seconds.mean() * 1e3:.3f}ms per delete)\n"
+        )
     return (
         f"{dataset.name}: streamed {replay.num_inserts} entities "
         f"({replay.session.num_pairs} candidate pairs)\n"
         f"  per-insert latency: mean={mean * 1e3:.3f}ms p50={p50 * 1e3:.3f}ms "
         f"p95={p95 * 1e3:.3f}ms  throughput={replay.throughput:,.0f} inserts/s\n"
+        f"{churn_text}"
         f"  online matches reported: {int(replay.online_matches.sum())} "
         f"(policy {replay.session.online.name}, threshold "
         f"{replay.session.online.threshold:.3f})\n"
@@ -349,6 +360,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     stream_parser.add_argument(
         "--limit", type=int, default=None, help="cap the number of streamed inserts"
+    )
+    stream_parser.add_argument(
+        "--deletes",
+        type=float,
+        default=0.0,
+        help="churn fraction: probability, after each insert, of retracting "
+        "one random live entity (exercises the dynamic index)",
     )
     stream_parser.add_argument(
         "--scale", type=float, default=None,

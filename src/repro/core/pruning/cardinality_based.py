@@ -9,6 +9,13 @@ These algorithms retain a *budgeted number* of the top-weighted valid pairs:
   *either* constituent entity (Algorithm 5);
 * :class:`SupervisedRCNP` — the reciprocal variant, requiring membership in
   the queues of *both* entities.
+
+Probability ties at the retention boundary are broken deterministically by
+the packed candidate key (``left * total + right``, smaller key wins), so
+the retained set is a pure function of the scored pair set — independent of
+the order candidate pairs are stored in.  This is what makes the streaming
+session's arrival-ordered registry (:mod:`repro.incremental`) reproduce the
+batch pipeline's canonical ordering exactly for the cardinality algorithms.
 """
 
 from __future__ import annotations
@@ -83,9 +90,12 @@ class SupervisedCEP(SupervisedPruningAlgorithm):
             mask[valid_positions] = True
             return mask
 
+        keys = candidates.packed_keys()
         queue: BoundedTopQueue[int] = BoundedTopQueue(budget)
         for position in valid_positions:
-            queue.push(float(probabilities[position]), int(position))
+            queue.push(
+                float(probabilities[position]), int(position), key=int(keys[position])
+            )
         mask[np.array(queue.items(), dtype=np.int64)] = True
         return mask
 
@@ -118,15 +128,17 @@ class SupervisedCNP(SupervisedPruningAlgorithm):
     ) -> Dict[int, Set[int]]:
         """Return, per node, the set of retained candidate-pair positions."""
         queues: Dict[int, BoundedTopQueue[int]] = {}
+        keys = candidates.packed_keys()
         valid_positions = np.flatnonzero(self.valid_mask(probabilities))
         for position in valid_positions:
             probability = float(probabilities[position])
+            key = int(keys[position])
             for node in (int(candidates.left[position]), int(candidates.right[position])):
                 queue = queues.get(node)
                 if queue is None:
                     queue = BoundedTopQueue(budget)
                     queues[node] = queue
-                queue.push(probability, int(position))
+                queue.push(probability, int(position), key=key)
         return {node: set(queue.items()) for node, queue in queues.items()}
 
     def prune(

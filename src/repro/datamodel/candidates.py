@@ -147,6 +147,18 @@ class CandidateSet:
         mask = np.asarray(mask)
         return CandidateSet(self.left[mask], self.right[mask], self.index_space)
 
+    def packed_keys(self) -> np.ndarray:
+        """``left * total + right`` per pair — a unique int64 key per pair.
+
+        ``total`` is ``max(index_space.total, 1)``, the same stride
+        :meth:`from_packed_keys` unpacks with.  The cardinality-based pruning
+        algorithms use these keys to break probability ties deterministically:
+        the retained set becomes a pure function of the ``(weight, pair)``
+        multiset, independent of candidate storage order.
+        """
+        total = np.int64(max(self.index_space.total, 1))
+        return self.left * total + self.right
+
     def node_degrees(self) -> np.ndarray:
         """Number of candidate pairs per node id (the LCP feature's basis)."""
         degrees = np.zeros(self.index_space.total, dtype=np.int64)

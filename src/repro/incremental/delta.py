@@ -96,6 +96,10 @@ class DeltaFeatureGenerator:
         return self.generate(self.index.delta_candidate_set(delta))
 
     def generate_all(self) -> Tuple[CandidateSet, FeatureMatrix]:
-        """Features of every registered pair (used by exact finalisation)."""
+        """Features of every *live* pair (used by exact finalisation).
+
+        Pairs retracted by entity removals are tombstoned in the index's
+        registry and excluded here.
+        """
         candidates = self.index.candidate_set()
         return candidates, self.generate(candidates)

@@ -5,8 +5,12 @@ entity x block CSR incidence structure once (:mod:`repro.weights.sparse`).
 Streaming workloads cannot afford that: inserting one entity must cost work
 proportional to the blocks it touches, not to the whole collection.
 
-:class:`MutableBlockIndex` is the streaming counterpart.  It maintains, under
-``add_entity`` / ``add_entities``:
+:class:`MutableBlockIndex` is the streaming counterpart.  It is *fully
+dynamic*: entities can be inserted (:meth:`~MutableBlockIndex.add_entity`,
+:meth:`~MutableBlockIndex.add_entities_bulk`), retracted
+(:meth:`~MutableBlockIndex.remove_entity`) and corrected
+(:meth:`~MutableBlockIndex.update_entity`).  Under every mutation it
+maintains:
 
 * the token -> block inverted index (one block per distinct signature);
 * the entity x block CSR incidence structure — rows are appended in arrival
@@ -16,32 +20,50 @@ proportional to the blocks it touches, not to the whole collection.
   inverse weight vectors;
 * the per-entity aggregates every weighting scheme needs (``|B_i|``,
   ``||e_i||``, ``Σ 1/||b||``, ``Σ 1/|b|``, LCP degrees), adjusted in place
-  for every entity of a touched block;
-* the distinct candidate-pair registry and the per-insert *delta* (the new
-  pairs the insert introduced).
+  for every entity of a touched block — insertions add the contributions,
+  removals reverse them exactly;
+* the distinct candidate-pair registry and the per-mutation *delta*: the new
+  pairs an insert introduced (:class:`InsertDelta`) or the dead pairs a
+  removal retracted (:class:`RetractionDelta`).
 
 All aggregates follow the batch conventions: blocks spawning no comparison
 are excluded from ``|B|``, ``|B_i|`` and the inverse sums (they do not exist
 in a batch collection after ``without_empty_blocks``), so a
-:class:`MutableBlockIndex` fed the final data one entity at a time exposes
-exactly the statistics :class:`repro.weights.BlockStatistics` computes on the
-batch block collection.  Block Purging / Block Filtering are *batch-only*
-cleaning steps (their thresholds are global functions of the final
-collection) and are intentionally not replayed here; equivalence is against
-``prepare_blocks(..., apply_purging=False, apply_filtering=False)``.
+:class:`MutableBlockIndex` fed any interleaving of inserts, removals,
+updates and bulk loads ending in collection ``C`` exposes exactly the
+statistics :class:`repro.weights.BlockStatistics` computes on the batch
+block collection built from ``C``.  Block Purging / Block Filtering are
+*batch-only* cleaning steps (their thresholds are global functions of the
+final collection) and are intentionally not replayed here; equivalence is
+against ``prepare_blocks(..., apply_purging=False, apply_filtering=False)``.
+
+Node ids are assigned in arrival order and never reused: a removed entity's
+slot is tombstoned (its aggregates zeroed, its CSR row left behind but
+unreferenced) and an updated entity re-enters under a fresh node id.  The
+:meth:`~MutableBlockIndex.canonical_node_ids` mapping renumbers the *live*
+nodes into the compact batch numbering (first-collection survivors in
+arrival order, then second-collection survivors), which is what
+:meth:`~MutableBlockIndex.snapshot_blocks` and the session's exact
+finalisation use to reproduce batch pruning bit-for-bit.
 
 Per-insert cost is ``O(Σ_{b ∈ tokens(e)} |b|)`` — the size of the touched
-blocks, i.e. the insert's candidate delta — independent of the number of
-entities or pairs already indexed.
+blocks, i.e. the mutation's candidate delta — independent of the number of
+entities or pairs already indexed; removals cost the same as the insert
+they reverse.  :meth:`~MutableBlockIndex.add_entities_bulk` amortises the
+per-entity overhead further: the batch is tokenized and dictionary-encoded
+in one array pass (the :mod:`repro.blocking.arrayops` path), merged into
+the live CSR with one append, and its candidate pairs deduplicated with
+packed keys instead of per-insert ``np.unique`` calls.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..blocking.arrayops import sorted_unique
 from ..blocking.base import BlockingMethod
 from ..blocking.token_blocking import TokenBlocking
 from ..datamodel import (
@@ -57,6 +79,55 @@ from ..weights.sparse import (
     PairCooccurrenceCache,
     compute_pair_cooccurrence,
 )
+
+
+class UnknownEntityError(KeyError):
+    """An operation referenced an entity id the index has never seen (or
+    has already removed) on the given side.
+
+    Raised *before* any aggregate is touched, so a failed removal or lookup
+    can never leave the index in a corrupted state.
+    """
+
+    def __init__(self, entity_id: str, side: int) -> None:
+        super().__init__(entity_id)
+        self.entity_id = entity_id
+        self.side = side
+
+    def __str__(self) -> str:
+        return (
+            f"unknown entity_id {self.entity_id!r} on side {self.side}; "
+            "it was never inserted or has already been removed"
+        )
+
+
+class DuplicateEntityError(ValueError):
+    """An insert reused an entity id that is currently live on that side."""
+
+    def __init__(self, entity_id: str, side: int) -> None:
+        super().__init__(
+            f"duplicate entity_id {entity_id!r} on side {side}; remove or "
+            "update the existing entity instead of re-adding it"
+        )
+        self.entity_id = entity_id
+        self.side = side
+
+
+def _pack_pair(left: int, right: int) -> int:
+    """A unique dict key for a canonical (left < right) node pair."""
+    return (left << 32) | right
+
+
+def pack_pair_keys(left: np.ndarray, right: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`_pack_pair`: one stable int64 key per node pair.
+
+    Node ids never reach 2^32, so ``left << 32 | right`` is collision free
+    and — unlike a stride-based packing — stable as the index grows.  The
+    registry and the session's online tie-breaking share this definition.
+    """
+    left = np.asarray(left, dtype=np.int64)
+    right = np.asarray(right, dtype=np.int64)
+    return (left << np.int64(32)) | right
 
 
 class _Growable:
@@ -128,6 +199,74 @@ class InsertDelta:
         return int(self.counterparts.size)
 
 
+@dataclass(frozen=True)
+class RetractionDelta:
+    """What one ``remove_entity`` reversed: the dead node and its dead pairs.
+
+    The ``pair_positions`` point into the index's global pair registry —
+    the same positions the pairs were assigned at insert time — so a
+    :class:`~repro.incremental.MatchingSession` can evict exactly those
+    pairs from its online aggregates (WEP running average, top-K queue).
+    """
+
+    #: node id the removed entity held (never reused)
+    node: int
+    #: the removed entity's identifier
+    entity_id: str
+    #: source side the entity was registered on
+    side: int
+    #: block ids of the entity's signatures (sorted)
+    block_ids: np.ndarray
+    #: node ids the entity co-occurred with (each is one retracted pair)
+    counterparts: np.ndarray
+    #: registry positions of the retracted pairs (aligned with counterparts)
+    pair_positions: np.ndarray
+
+    @property
+    def num_retracted_pairs(self) -> int:
+        """Number of candidate pairs retracted by the removal."""
+        return int(self.counterparts.size)
+
+
+@dataclass(frozen=True)
+class UpdateDelta:
+    """An in-place correction: the retraction of the old version plus the
+    insert of the new one (under a fresh node id)."""
+
+    retraction: RetractionDelta
+    insert: InsertDelta
+
+
+@dataclass(frozen=True)
+class BulkInsertDelta:
+    """What one ``add_entities_bulk`` changed: the new nodes and new pairs.
+
+    Unlike a sequence of :class:`InsertDelta`, the new pairs are reported
+    once for the whole batch, deduplicated and sorted by packed candidate
+    key — the registry order therefore differs from what one-at-a-time
+    inserts would produce, but the pair *set*, every aggregate, and the
+    exact finalisation are identical (the equivalence tests assert this).
+    """
+
+    #: node ids assigned to the batch, in input order
+    nodes: np.ndarray
+    #: the inserted entities' identifiers, in input order
+    entity_ids: Tuple[str, ...]
+    #: source side the batch was registered on
+    side: int
+    #: left node ids of the new pairs (canonical, left < right)
+    pair_left: np.ndarray
+    #: right node ids of the new pairs
+    pair_right: np.ndarray
+    #: positions of the new pairs in the index's global pair registry
+    pair_positions: np.ndarray
+
+    @property
+    def num_new_pairs(self) -> int:
+        """Number of candidate pairs introduced by the bulk load."""
+        return int(self.pair_left.size)
+
+
 class IncrementalStatistics:
     """A read-only statistics view over a :class:`MutableBlockIndex`.
 
@@ -135,7 +274,9 @@ class IncrementalStatistics:
     vectorized (``sparse``) scheme implementations consume, backed by the
     index's incrementally maintained arrays.  Obtain a fresh view per feature
     computation (:meth:`MutableBlockIndex.statistics`); views snapshot nothing
-    and always read the index's current state.
+    and always read the index's current state.  Per-node arrays cover every
+    node slot ever assigned; tombstoned slots hold zeros and are never
+    referenced by a live candidate pair.
     """
 
     def __init__(self, index: "MutableBlockIndex") -> None:
@@ -200,14 +341,16 @@ class IncrementalStatistics:
 
 
 class MutableBlockIndex:
-    """A token/block inverted index supporting online entity insertion.
+    """A token/block inverted index supporting online insertion, removal,
+    in-place update and bulk loading.
 
     Parameters
     ----------
     blocking:
         The signature extractor (default :class:`TokenBlocking`, as in the
-        paper's evaluation).  Only :meth:`BlockingMethod.signatures_of` is
-        used — index assembly is incremental.
+        paper's evaluation).  Only :meth:`BlockingMethod.signatures_of` /
+        :meth:`BlockingMethod.signature_lists` are used — index assembly is
+        incremental.
     bilateral:
         ``True`` for Clean-Clean ER streams (entities arrive tagged with a
         source side, only cross-side pairs are candidates); ``False`` for
@@ -239,13 +382,15 @@ class MutableBlockIndex:
         self._inverse_block_sizes = _Growable(np.float64)
 
         # entity registry; ids are namespaced per side — Clean-Clean sources
-        # commonly number their entities independently
+        # commonly number their entities independently.  Node ids are never
+        # reused: a removed entity's slot keeps side -1 as a tombstone.
         self._entity_ids: List[str] = []
         self._node_of_id: Dict[Tuple[int, str], int] = {}
         self._sides = _Growable(np.int8)
         self._side_counts = [0, 0]
 
-        # entity x block CSR (rows in arrival order, sorted ids per row)
+        # entity x block CSR (rows in arrival order, sorted ids per row;
+        # tombstoned rows are left behind and never referenced by live pairs)
         self._indptr = _Growable(np.int64, capacity=256)
         self._indptr.append(0)
         self._indices = _Growable(np.int64, capacity=1024)
@@ -257,9 +402,19 @@ class MutableBlockIndex:
         self._entity_inv_size = _Growable(np.float64, capacity=256)
         self._degrees = _Growable(np.float64, capacity=256)
 
-        # candidate-pair registry (canonical: left < right by construction)
+        # candidate-pair registry (canonical: left < right by construction);
+        # positions are stable, retracted pairs are tombstoned via _pair_alive
         self._pair_left = _Growable(np.int64, capacity=1024)
         self._pair_right = _Growable(np.int64, capacity=1024)
+        self._pair_alive = _Growable(np.bool_, capacity=1024)
+        self._pair_keys = _Growable(np.int64, capacity=1024)
+        # packed (left, right) -> registry position of every *live* pair,
+        # synced lazily from _pair_keys (removals need it, inserts don't —
+        # keeping it off the insert path is what lets bulk loads stay
+        # array-only); _pair_synced counts the registry prefix already merged
+        self._pair_position: Dict[int, int] = {}
+        self._pair_synced: int = 0
+        self._num_live_pairs: int = 0
 
         # global aggregates
         self.total_cardinality: int = 0
@@ -269,7 +424,12 @@ class MutableBlockIndex:
     # -- container protocol ----------------------------------------------------
     @property
     def num_entities(self) -> int:
-        """Number of inserted entities (= node ids)."""
+        """Number of *live* entities (inserted and not removed)."""
+        return self._side_counts[0] + self._side_counts[1]
+
+    @property
+    def num_slots(self) -> int:
+        """Number of node ids ever assigned, including tombstoned slots."""
         return len(self._entity_ids)
 
     @property
@@ -279,7 +439,12 @@ class MutableBlockIndex:
 
     @property
     def num_pairs(self) -> int:
-        """Number of distinct candidate pairs registered so far."""
+        """Number of *live* distinct candidate pairs."""
+        return self._num_live_pairs
+
+    @property
+    def num_registered_pairs(self) -> int:
+        """Number of registry positions ever assigned (live + retracted)."""
         return len(self._pair_left)
 
     def __len__(self) -> int:
@@ -290,31 +455,67 @@ class MutableBlockIndex:
         return self._entity_ids[node]
 
     def side_of(self, node: int) -> int:
-        """0 for first-collection nodes, 1 for second-collection nodes."""
+        """0 for first-collection nodes, 1 for second-collection nodes.
+
+        Tombstoned slots report -1.
+        """
         return int(self._sides[node])
 
+    def is_live(self, node: int) -> bool:
+        """Whether the node slot currently holds a live entity."""
+        return int(self._sides[node]) >= 0
+
     def sides(self) -> np.ndarray:
-        """Per-node side flags (0 = first collection, 1 = second)."""
+        """Per-node side flags (0 = first, 1 = second, -1 = removed)."""
         return self._sides.view()
 
     def node_of(self, entity_id: str, side: int = 0) -> int:
-        """The node id assigned to ``entity_id`` on ``side``."""
-        return self._node_of_id[(side, entity_id)]
+        """The node id assigned to the live entity ``entity_id`` on ``side``.
+
+        Raises
+        ------
+        UnknownEntityError
+            When no live entity with that id exists on that side.
+        """
+        node = self._node_of_id.get((side, entity_id))
+        if node is None:
+            raise UnknownEntityError(entity_id, side)
+        return node
 
     def has_entity(self, entity_id: str, side: int = 0) -> bool:
-        """Whether ``entity_id`` was inserted on ``side``."""
+        """Whether ``entity_id`` is currently live on ``side``."""
         return (side, entity_id) in self._node_of_id
 
     def index_space(self) -> EntityIndexSpace:
-        """An index space with the correct per-side totals.
+        """An index space sized to the *live* per-side totals.
 
-        Streaming assigns node ids in arrival order (sides may interleave),
-        so only the *totals* of the returned space are meaningful — not the
-        contiguous first/second ranges batch spaces guarantee.
+        Streaming assigns node ids in arrival order (sides may interleave and
+        removed slots are never reused), so raw node ids do not fit this
+        space — only its totals are meaningful.  The
+        :meth:`canonical_node_ids` mapping renumbers live nodes into it.
         """
         if self.bilateral:
             return EntityIndexSpace(self._side_counts[0], self._side_counts[1])
-        return EntityIndexSpace(self.num_entities)
+        return EntityIndexSpace(self._side_counts[0])
+
+    def canonical_node_ids(self) -> np.ndarray:
+        """Map every node slot to its compact batch node id (-1 when dead).
+
+        Live first-collection nodes get 0..n1-1 in arrival order, live
+        second-collection nodes n1..n1+n2-1 — exactly the numbering the
+        batch pipeline assigns when handed the surviving entities in arrival
+        order.  This is the bridge that lets the exact finalisation apply
+        batch pruning (including its packed-key tie-breaking) unchanged.
+        """
+        sides = self._sides.view()
+        canonical = np.full(sides.size, -1, dtype=np.int64)
+        first_nodes = np.flatnonzero(sides == 0)
+        canonical[first_nodes] = np.arange(first_nodes.size, dtype=np.int64)
+        second_nodes = np.flatnonzero(sides == 1)
+        canonical[second_nodes] = first_nodes.size + np.arange(
+            second_nodes.size, dtype=np.int64
+        )
+        return canonical
 
     # -- insertion -------------------------------------------------------------
     def add_entity(self, profile: EntityProfile, side: int = 0) -> InsertDelta:
@@ -328,29 +529,18 @@ class MutableBlockIndex:
         side:
             Source collection (0 or 1) for bilateral streams; must be 0 for
             unilateral streams.
-        """
-        if side not in (0, 1):
-            raise ValueError("side must be 0 or 1")
-        if side == 1 and not self.bilateral:
-            raise ValueError("side=1 requires a bilateral index")
-        if (side, profile.entity_id) in self._node_of_id:
-            raise ValueError(
-                f"duplicate entity_id {profile.entity_id!r} on side {side}"
-            )
 
-        node = self.num_entities
-        self._entity_ids.append(profile.entity_id)
-        self._node_of_id[(side, profile.entity_id)] = node
-        self._sides.append(side)
-        self._side_counts[side] += 1
-        for array in (
-            self._blocks_per_entity,
-            self._entity_cardinality,
-            self._entity_inv_cardinality,
-            self._entity_inv_size,
-            self._degrees,
-        ):
-            array.append(0.0)
+        Raises
+        ------
+        DuplicateEntityError
+            When an entity with the same id is currently live on ``side``
+            (remove or :meth:`update_entity` it instead).
+        """
+        self._check_side(side)
+        if (side, profile.entity_id) in self._node_of_id:
+            raise DuplicateEntityError(profile.entity_id, side)
+
+        node = self._register_entity(profile.entity_id, side)
 
         signatures = sorted(self.blocking.signatures_of(profile))
         block_ids: List[int] = []
@@ -373,14 +563,9 @@ class MutableBlockIndex:
         else:
             counterparts = np.empty(0, dtype=np.int64)
 
-        first_position = self.num_pairs
-        if counterparts.size:
-            self._pair_left.extend(counterparts)
-            self._pair_right.extend(np.full(counterparts.size, node, dtype=np.int64))
-            degrees = self._degrees.view()
-            degrees[counterparts] += 1.0
-            degrees[node] += float(counterparts.size)
-        pair_positions = np.arange(first_position, self.num_pairs, dtype=np.int64)
+        pair_positions = self._register_pairs(
+            counterparts, np.full(counterparts.size, node, dtype=np.int64)
+        )
 
         return InsertDelta(
             node=node,
@@ -396,6 +581,480 @@ class MutableBlockIndex:
         """Insert several entities from the same side, one at a time."""
         return [self.add_entity(profile, side=side) for profile in profiles]
 
+    def add_entities_bulk(
+        self, profiles: Sequence[EntityProfile], side: int = 0
+    ) -> BulkInsertDelta:
+        """Insert a batch of same-side entities in one array pass.
+
+        The batch is tokenized with :meth:`BlockingMethod.signature_lists`
+        (the array blocking backend's entry point), its memberships
+        deduplicated via packed-key sort (:mod:`repro.blocking.arrayops`),
+        and the result merged into the live CSR with a single append instead
+        of one row append per entity.  Per-block aggregate adjustments are
+        applied once per *touched block* (vectorized over that block's old
+        and new members), and the batch's new candidate pairs are
+        deduplicated globally with packed keys — no per-insert ``np.unique``.
+
+        The resulting index state is identical to calling
+        :meth:`add_entity` once per profile, except for the *order* of the
+        new pairs in the registry (sorted by packed key rather than grouped
+        by insert); every aggregate, the pair set, and the exact
+        finalisation are unaffected.
+
+        Returns
+        -------
+        BulkInsertDelta
+            The assigned node ids and the batch's new pairs.
+        """
+        profiles = list(profiles)
+        self._check_side(side)
+        seen_batch = set()
+        for profile in profiles:
+            if (side, profile.entity_id) in self._node_of_id:
+                raise DuplicateEntityError(profile.entity_id, side)
+            if profile.entity_id in seen_batch:
+                raise DuplicateEntityError(profile.entity_id, side)
+            seen_batch.add(profile.entity_id)
+
+        base = self.num_slots
+        n_new = len(profiles)
+        self._register_entities_batch(profiles, side)
+
+        # batch tokenization + dictionary encoding against the live block ids
+        signature_lists = self.blocking.signature_lists(profiles)
+        flat_ids: List[int] = []
+        lengths = np.empty(n_new, dtype=np.int64)
+        blocks_before = self.num_blocks
+        block_ids = self._block_ids
+        block_keys = self._block_keys
+        members_first = self._members_first
+        members_second = self._members_second
+        append_id = flat_ids.append
+        for offset, signatures in enumerate(signature_lists):
+            lengths[offset] = len(signatures)
+            for signature in signatures:
+                block_id = block_ids.get(signature)
+                if block_id is None:
+                    # inline block creation; the per-block aggregate arrays
+                    # are extended once for the whole batch below
+                    block_id = len(block_keys)
+                    block_ids[signature] = block_id
+                    block_keys.append(signature)
+                    members_first.append([])
+                    members_second.append([])
+                append_id(block_id)
+        created = len(block_keys) - blocks_before
+        if created:
+            self._block_sizes.extend(np.zeros(created, dtype=np.int64))
+            self._block_cardinalities.extend(np.zeros(created, dtype=np.int64))
+            self._inverse_block_cardinalities.extend(np.ones(created))
+            self._inverse_block_sizes.extend(np.ones(created))
+
+        num_blocks = np.int64(max(self.num_blocks, 1))
+        relative_nodes = np.repeat(np.arange(n_new, dtype=np.int64), lengths)
+        block_of = np.asarray(flat_ids, dtype=np.int64)
+        if block_of.size:
+            # distinct (node, block) memberships, node-major with sorted
+            # per-row block ids — exactly the CSR layout
+            packed = sorted_unique(relative_nodes * num_blocks + block_of)
+            relative_nodes = packed // num_blocks
+            block_of = packed % num_blocks
+
+        # one-pass CSR merge: a single extend for the indices, a single
+        # extend of cumulative row ends for the pointers
+        previous_end = len(self._indices)
+        self._indices.extend(block_of)
+        row_counts = np.bincount(relative_nodes, minlength=n_new)
+        self._indptr.extend(previous_end + np.cumsum(row_counts))
+
+        pair_left, pair_right = self._apply_bulk_memberships(
+            block_of, relative_nodes + base, side
+        )
+        pair_positions = self._register_pairs(pair_left, pair_right)
+
+        return BulkInsertDelta(
+            nodes=np.arange(base, base + n_new, dtype=np.int64),
+            entity_ids=tuple(profile.entity_id for profile in profiles),
+            side=side,
+            pair_left=pair_left,
+            pair_right=pair_right,
+            pair_positions=pair_positions,
+        )
+
+    def _apply_bulk_memberships(
+        self, block_of: np.ndarray, nodes: np.ndarray, side: int
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Apply a batch's (block, node) memberships to the block state.
+
+        The per-block transitions (sizes, cardinalities, global counters)
+        and every per-entity aggregate adjustment — for old members and new
+        ones alike — are computed as single vectorized passes over the
+        *touched block groups*; the only per-block Python work left is
+        gathering the old member lists and emitting the cross-product
+        candidate pairs.  Returns the batch's distinct new pairs, canonical
+        and sorted by packed key.
+        """
+        empty = np.empty(0, dtype=np.int64)
+        if block_of.size == 0:
+            return empty, empty
+        order = np.lexsort((nodes, block_of))
+        grouped_blocks = block_of[order]
+        grouped_nodes = nodes[order]
+        starts = np.flatnonzero(np.r_[True, grouped_blocks[1:] != grouped_blocks[:-1]])
+        ends = np.r_[starts[1:], grouped_blocks.size]
+        touched = grouped_blocks[starts]
+        touched_list = touched.tolist()
+        added = ends - starts
+
+        # old per-block state, gathered vectorized
+        old_first = np.fromiter(
+            (len(self._members_first[b]) for b in touched_list),
+            dtype=np.int64,
+            count=touched.size,
+        )
+        old_second = np.fromiter(
+            (len(self._members_second[b]) for b in touched_list),
+            dtype=np.int64,
+            count=touched.size,
+        )
+        old_size = old_first + old_second
+        old_cardinality = self._block_cardinalities.view()[touched]
+
+        new_size = old_size + added
+        if self.bilateral:
+            new_first = old_first + (added if side == 0 else 0)
+            new_second = old_second + (added if side == 1 else 0)
+            new_cardinality = new_first * new_second
+        else:
+            new_cardinality = new_size * (new_size - 1) // 2
+
+        # global aggregates: one transition per touched block
+        was_spawning = old_cardinality > 0
+        newly_spawning = ~was_spawning & (new_cardinality > 0)
+        spawning = new_cardinality > 0
+        self.total_cardinality += int((new_cardinality - old_cardinality).sum())
+        self.num_nonempty_blocks += int(newly_spawning.sum())
+        self.total_block_assignments += int(
+            np.where(was_spawning, added, np.where(newly_spawning, new_size, 0)).sum()
+        )
+
+        # per-block state, stored vectorized
+        self._block_sizes[touched] = new_size
+        self._block_cardinalities[touched] = new_cardinality
+        self._inverse_block_cardinalities[touched] = 1.0 / np.maximum(
+            new_cardinality, 1
+        )
+        self._inverse_block_sizes[touched] = 1.0 / np.maximum(new_size, 1)
+
+        # gather old members (for aggregate scatter) and counterparts (for
+        # pair emission), extending the member lists as we go; the pair
+        # cross-products themselves are emitted in one grouped pass below
+        stride = np.int64(max(self.num_slots, 1))
+        needs_old = (was_spawning | newly_spawning).tolist()
+        old_parts: List[np.ndarray] = []
+        old_groups: List[int] = []
+        old_counts: List[int] = []
+        cp_parts: List[np.ndarray] = []
+        cp_groups: List[int] = []
+        cp_counts: List[int] = []
+        pair_parts: List[np.ndarray] = []
+        join_second = self.bilateral and side == 1
+        for group, block_id in enumerate(touched_list):
+            first = self._members_first[block_id]
+            second = self._members_second[block_id]
+            new_members = grouped_nodes[starts[group] : ends[group]]
+            if self.bilateral:
+                counterpart_list = second if side == 0 else first
+            else:
+                counterpart_list = first
+            if counterpart_list:
+                cp_parts.append(
+                    np.fromiter(
+                        counterpart_list, dtype=np.int64, count=len(counterpart_list)
+                    )
+                )
+                cp_groups.append(group)
+                cp_counts.append(len(counterpart_list))
+            if not self.bilateral and new_members.size >= 2:
+                upper_i, upper_j = np.triu_indices(new_members.size, k=1)
+                pair_parts.append(
+                    new_members[upper_i] * stride + new_members[upper_j]
+                )
+            if needs_old[group] and (first or second):
+                members = first + second
+                old_parts.append(
+                    np.fromiter(members, dtype=np.int64, count=len(members))
+                )
+                old_groups.append(group)
+                old_counts.append(len(members))
+            (second if join_second else first).extend(new_members.tolist())
+
+        if cp_parts:
+            # grouped cross product: every counterpart of a touched block
+            # pairs with each of the block's new members, all groups at once
+            cp_nodes = np.concatenate(cp_parts)
+            cp_group = np.repeat(np.asarray(cp_groups, dtype=np.int64), cp_counts)
+            per_cp = added[cp_group]
+            old = np.repeat(cp_nodes, per_cp)
+            span_ends = np.cumsum(per_cp)
+            within = np.arange(int(span_ends[-1]), dtype=np.int64) - np.repeat(
+                span_ends - per_cp, per_cp
+            )
+            new = grouped_nodes[np.repeat(starts[cp_group], per_cp) + within]
+            pair_parts.append(np.minimum(old, new) * stride + np.maximum(old, new))
+
+        blocks_per_entity = self._blocks_per_entity.view()
+        entity_cardinality = self._entity_cardinality.view()
+        entity_inv_cardinality = self._entity_inv_cardinality.view()
+        entity_inv_size = self._entity_inv_size.view()
+        inv_new_cardinality = 1.0 / np.maximum(new_cardinality, 1)
+        inv_new_size = 1.0 / np.maximum(new_size, 1)
+
+        # old members: blocks already spawning move old state -> new state,
+        # newly spawning blocks contribute their full new state
+        if old_parts:
+            old_nodes = np.concatenate(old_parts)
+            group_of = np.repeat(np.asarray(old_groups, dtype=np.int64), old_counts)
+            was = was_spawning[group_of]
+            inv_old_cardinality = 1.0 / np.maximum(old_cardinality, 1)
+            inv_old_size = 1.0 / np.maximum(old_size, 1)
+            np.add.at(
+                blocks_per_entity, old_nodes, np.where(was, 0.0, 1.0)
+            )
+            np.add.at(
+                entity_cardinality,
+                old_nodes,
+                np.where(
+                    was, (new_cardinality - old_cardinality)[group_of],
+                    new_cardinality[group_of].astype(np.float64),
+                ),
+            )
+            np.add.at(
+                entity_inv_cardinality,
+                old_nodes,
+                np.where(
+                    was,
+                    (inv_new_cardinality - inv_old_cardinality)[group_of],
+                    inv_new_cardinality[group_of],
+                ),
+            )
+            np.add.at(
+                entity_inv_size,
+                old_nodes,
+                np.where(
+                    was,
+                    (inv_new_size - inv_old_size)[group_of],
+                    inv_new_size[group_of],
+                ),
+            )
+
+        # new members of spawning blocks: their full per-block contribution
+        membership_group = np.repeat(
+            np.arange(touched.size, dtype=np.int64), added
+        )
+        in_spawning = spawning[membership_group]
+        if np.any(in_spawning):
+            target_nodes = grouped_nodes[in_spawning]
+            target_groups = membership_group[in_spawning]
+            np.add.at(blocks_per_entity, target_nodes, 1.0)
+            np.add.at(
+                entity_cardinality,
+                target_nodes,
+                new_cardinality[target_groups].astype(np.float64),
+            )
+            np.add.at(
+                entity_inv_cardinality, target_nodes, inv_new_cardinality[target_groups]
+            )
+            np.add.at(entity_inv_size, target_nodes, inv_new_size[target_groups])
+
+        if not pair_parts:
+            return empty, empty
+        # every pair involves at least one new node, so none can already be
+        # registered — a packed-key dedup across blocks suffices
+        keys = sorted_unique(np.concatenate(pair_parts))
+        return keys // stride, keys % stride
+
+    def _register_entities_batch(
+        self, profiles: Sequence[EntityProfile], side: int
+    ) -> None:
+        """Batch counterpart of :meth:`_register_entity` (one extend each)."""
+        n_new = len(profiles)
+        if n_new == 0:
+            return
+        base = self.num_slots
+        entity_ids = [profile.entity_id for profile in profiles]
+        self._entity_ids.extend(entity_ids)
+        self._node_of_id.update(
+            ((side, entity_id), base + offset)
+            for offset, entity_id in enumerate(entity_ids)
+        )
+        self._sides.extend(np.full(n_new, side, dtype=np.int8))
+        self._side_counts[side] += n_new
+        zeros = np.zeros(n_new)
+        for array in (
+            self._blocks_per_entity,
+            self._entity_cardinality,
+            self._entity_inv_cardinality,
+            self._entity_inv_size,
+            self._degrees,
+        ):
+            array.extend(zeros)
+
+    # -- removal / update ------------------------------------------------------
+    def remove_entity(self, entity_id: str, side: int = 0) -> RetractionDelta:
+        """Retract one entity, reversing every aggregate it contributed to.
+
+        The entity leaves each of its blocks (adjusting ``|b|``, ``||b||``,
+        the inverse weight vectors and the remaining members' per-entity
+        aggregates in place, exactly undoing what its insertion added), its
+        candidate pairs are tombstoned in the registry, and its node slot is
+        marked dead.  Cost is proportional to the entity's candidate delta,
+        like the insert it reverses.
+
+        Returns
+        -------
+        RetractionDelta
+            The dead node and the registry positions of its retracted pairs
+            (the session uses these to evict the pairs from its online
+            aggregates).
+
+        Raises
+        ------
+        UnknownEntityError
+            When no live entity with that id exists on that side; the index
+            is left untouched.
+        """
+        if side not in (0, 1):
+            raise ValueError("side must be 0 or 1")
+        node = self._node_of_id.get((side, entity_id))
+        if node is None:
+            raise UnknownEntityError(entity_id, side)
+
+        block_ids = np.array(
+            self._indices[self._indptr[node] : self._indptr[node + 1]], copy=True
+        )
+        counterpart_parts: List[np.ndarray] = []
+        for block_id in block_ids.tolist():
+            counterparts = self._leave_block(block_id, node, side)
+            if counterparts is not None:
+                counterpart_parts.append(counterparts)
+
+        if counterpart_parts:
+            counterparts = np.unique(np.concatenate(counterpart_parts))
+        else:
+            counterparts = np.empty(0, dtype=np.int64)
+
+        self._sync_pair_positions()
+        pair_positions = np.empty(counterparts.size, dtype=np.int64)
+        for offset, counterpart in enumerate(counterparts.tolist()):
+            left, right = (
+                (counterpart, node) if counterpart < node else (node, counterpart)
+            )
+            pair_positions[offset] = self._pair_position.pop(_pack_pair(left, right))
+        if pair_positions.size:
+            self._pair_alive[pair_positions] = False
+            self._degrees[counterparts] -= 1.0
+        self._num_live_pairs -= int(pair_positions.size)
+
+        # the departing node's aggregates must land at exactly zero; assign
+        # rather than subtract so float residue cannot accumulate in dead slots
+        for array in (
+            self._blocks_per_entity,
+            self._entity_cardinality,
+            self._entity_inv_cardinality,
+            self._entity_inv_size,
+            self._degrees,
+        ):
+            array[node] = 0.0
+
+        del self._node_of_id[(side, entity_id)]
+        self._sides[node] = -1
+        self._side_counts[side] -= 1
+
+        return RetractionDelta(
+            node=node,
+            entity_id=entity_id,
+            side=side,
+            block_ids=block_ids,
+            counterparts=counterparts,
+            pair_positions=pair_positions,
+        )
+
+    def update_entity(self, profile: EntityProfile, side: int = 0) -> UpdateDelta:
+        """Correct an entity in place: retract the live version, insert the new.
+
+        The new version enters under a *fresh* node id (slots are never
+        reused), re-entering arrival order at the end — the canonical
+        numbering treats an updated entity as the most recent arrival of its
+        side.
+
+        Raises
+        ------
+        UnknownEntityError
+            When the entity is not currently live on ``side``.
+        """
+        retraction = self.remove_entity(profile.entity_id, side=side)
+        insert = self.add_entity(profile, side=side)
+        return UpdateDelta(retraction=retraction, insert=insert)
+
+    # -- shared mutation helpers -----------------------------------------------
+    def _check_side(self, side: int) -> None:
+        if side not in (0, 1):
+            raise ValueError("side must be 0 or 1")
+        if side == 1 and not self.bilateral:
+            raise ValueError("side=1 requires a bilateral index")
+
+    def _register_entity(self, entity_id: str, side: int) -> int:
+        node = self.num_slots
+        self._entity_ids.append(entity_id)
+        self._node_of_id[(side, entity_id)] = node
+        self._sides.append(side)
+        self._side_counts[side] += 1
+        for array in (
+            self._blocks_per_entity,
+            self._entity_cardinality,
+            self._entity_inv_cardinality,
+            self._entity_inv_size,
+            self._degrees,
+        ):
+            array.append(0.0)
+        return node
+
+    def _register_pairs(self, left: np.ndarray, right: np.ndarray) -> np.ndarray:
+        """Append canonical new pairs to the registry; returns their positions."""
+        first_position = self.num_registered_pairs
+        count = int(left.size)
+        if count:
+            self._pair_left.extend(left)
+            self._pair_right.extend(right)
+            self._pair_alive.extend(np.ones(count, dtype=np.bool_))
+            self._pair_keys.extend(pack_pair_keys(left, right))
+            # np.add.at (not fancy-indexed +=) — left/right may repeat nodes,
+            # and the cost must stay O(count), not O(num_slots)
+            degrees = self._degrees.view()
+            np.add.at(degrees, left, 1.0)
+            np.add.at(degrees, right, 1.0)
+            self._num_live_pairs += count
+        return np.arange(first_position, first_position + count, dtype=np.int64)
+
+    def _sync_pair_positions(self) -> None:
+        """Merge registry entries appended since the last sync into the
+        packed-key -> position dict removals look pairs up in.
+
+        A pair retracted and later re-registered appears twice in the
+        registry; positions ascend within the unsynced tail, so the dict
+        lands on the newest (live) position.  Amortised O(1) per pair ever
+        registered.
+        """
+        total = self.num_registered_pairs
+        if self._pair_synced == total:
+            return
+        tail = slice(self._pair_synced, total)
+        self._pair_position.update(
+            zip(self._pair_keys.view()[tail].tolist(), range(self._pair_synced, total))
+        )
+        self._pair_synced = total
+
     def _create_block(self, signature: str) -> int:
         block_id = len(self._block_keys)
         self._block_ids[signature] = block_id
@@ -407,6 +1066,12 @@ class MutableBlockIndex:
         self._inverse_block_cardinalities.append(1.0)
         self._inverse_block_sizes.append(1.0)
         return block_id
+
+    def _store_block_state(self, block_id: int, size: int, cardinality: int) -> None:
+        self._block_sizes[block_id] = size
+        self._block_cardinalities[block_id] = cardinality
+        self._inverse_block_cardinalities[block_id] = 1.0 / max(cardinality, 1)
+        self._inverse_block_sizes[block_id] = 1.0 / max(size, 1)
 
     def _join_block(self, block_id: int, node: int, side: int) -> Optional[np.ndarray]:
         """Add ``node`` to a block, updating every affected aggregate.
@@ -475,15 +1140,80 @@ class MutableBlockIndex:
             second.append(node)
         else:
             first.append(node)
-        self._block_sizes[block_id] = new_size
-        self._block_cardinalities[block_id] = new_cardinality
-        self._inverse_block_cardinalities[block_id] = 1.0 / max(new_cardinality, 1)
-        self._inverse_block_sizes[block_id] = 1.0 / max(new_size, 1)
+        self._store_block_state(block_id, new_size, new_cardinality)
+        return counterparts
+
+    def _leave_block(self, block_id: int, node: int, side: int) -> Optional[np.ndarray]:
+        """Remove ``node`` from a block, reversing every affected aggregate.
+
+        The exact inverse of :meth:`_join_block`: the remaining members'
+        per-entity aggregates move from the old block state to the new one,
+        and a block dropping to zero cardinality stops counting towards
+        ``|B|``, ``|B_i|``, the inverse sums and the assignment total.
+        Returns the node ids the departing entity was compared against
+        within this block (each is one retracted pair candidate).
+        """
+        first = self._members_first[block_id]
+        second = self._members_second[block_id]
+        old_size = len(first) + len(second)
+        old_cardinality = int(self._block_cardinalities[block_id])
+
+        (second if (self.bilateral and side == 1) else first).remove(node)
+        new_size = old_size - 1
+        if self.bilateral:
+            counterpart_list = second if side == 0 else first
+            new_cardinality = len(first) * len(second)
+        else:
+            counterpart_list = first
+            new_cardinality = new_size * (new_size - 1) // 2
+        delta_cardinality = new_cardinality - old_cardinality
+        self.total_cardinality += delta_cardinality
+
+        blocks_per_entity = self._blocks_per_entity.view()
+        entity_cardinality = self._entity_cardinality.view()
+        entity_inv_cardinality = self._entity_inv_cardinality.view()
+        entity_inv_size = self._entity_inv_size.view()
+        if old_cardinality > 0:
+            remaining = np.fromiter(first + second, dtype=np.int64, count=new_size)
+            if new_cardinality > 0:
+                entity_cardinality[remaining] += delta_cardinality
+                entity_inv_cardinality[remaining] += (
+                    1.0 / new_cardinality - 1.0 / old_cardinality
+                )
+                entity_inv_size[remaining] += 1.0 / new_size - 1.0 / old_size
+                self.total_block_assignments -= 1
+            else:
+                # the block stopped spawning comparisons: it no longer counts
+                # towards |B|, |B_i| or the inverse sums of its members
+                blocks_per_entity[remaining] -= 1.0
+                entity_cardinality[remaining] -= old_cardinality
+                entity_inv_cardinality[remaining] -= 1.0 / old_cardinality
+                entity_inv_size[remaining] -= 1.0 / old_size
+                self.num_nonempty_blocks -= 1
+                self.total_block_assignments -= old_size
+            # the departing node's own contribution (zeroed for good measure
+            # by the caller once every block is processed)
+            blocks_per_entity[node] -= 1.0
+            entity_cardinality[node] -= old_cardinality
+            entity_inv_cardinality[node] -= 1.0 / old_cardinality
+            entity_inv_size[node] -= 1.0 / old_size
+
+        counterparts = (
+            np.fromiter(counterpart_list, dtype=np.int64, count=len(counterpart_list))
+            if counterpart_list
+            else None
+        )
+        self._store_block_state(block_id, new_size, new_cardinality)
         return counterparts
 
     # -- read-side structures --------------------------------------------------
     def csr(self) -> EntityBlockCSR:
-        """The current entity x block incidence structure (zero-copy views)."""
+        """The current entity x block incidence structure (zero-copy views).
+
+        Rows of removed entities are left behind (their node ids never recur
+        in a live candidate pair), so the structure is safe to intersect over
+        any live pair but not a faithful census of live memberships.
+        """
         return EntityBlockCSR(
             indptr=self._indptr.view(),
             indices=self._indices.view(),
@@ -495,10 +1225,16 @@ class MutableBlockIndex:
         return IncrementalStatistics(self)
 
     def candidate_set(self) -> CandidateSet:
-        """All distinct candidate pairs registered so far (copied arrays)."""
+        """All *live* distinct candidate pairs (copied arrays).
+
+        Pairs are in registry order with retracted positions filtered out;
+        node ids are raw streaming ids (see :meth:`canonical_node_ids` for
+        the batch renumbering).
+        """
+        alive = self._pair_alive.view()
         return CandidateSet(
-            self._pair_left.view().copy(),
-            self._pair_right.view().copy(),
+            self._pair_left.view()[alive],
+            self._pair_right.view()[alive],
             self.index_space(),
         )
 
@@ -508,14 +1244,40 @@ class MutableBlockIndex:
         right = np.full(left.size, delta.node, dtype=np.int64)
         return CandidateSet(left, right, self.index_space())
 
+    def bulk_candidate_set(self, delta: BulkInsertDelta) -> CandidateSet:
+        """The candidate pairs introduced by one bulk load, as a candidate set."""
+        return CandidateSet(
+            delta.pair_left.copy(), delta.pair_right.copy(), self.index_space()
+        )
+
+    def canonical_candidates(self, candidates: CandidateSet) -> CandidateSet:
+        """Renumber a live candidate set into the compact batch node space.
+
+        Every pair keeps its position; only the node ids change (and the
+        left/right orientation is restored to canonical ``left < right`` in
+        the batch numbering).  Probability arrays aligned with the input
+        remain aligned with the output, which is how the exact finalisation
+        applies batch pruning — budgets, per-node thresholds and packed-key
+        tie-breaking included — without re-scoring.
+        """
+        canonical = self.canonical_node_ids()
+        left = canonical[candidates.left]
+        right = canonical[candidates.right]
+        if left.size and (np.any(left < 0) or np.any(right < 0)):
+            raise ValueError("candidate set references removed entities")
+        return CandidateSet(
+            np.minimum(left, right), np.maximum(left, right), self.index_space()
+        )
+
     def snapshot_blocks(self) -> BlockCollection:
         """Materialise the comparison-spawning blocks as a batch collection.
 
-        The snapshot matches what the batch pipeline (with purging/filtering
-        disabled) builds from the same final data, up to block order and node
-        numbering.  Only the index space's totals are meaningful for
-        interleaved bilateral streams (see :meth:`index_space`).
+        Node ids are the canonical batch ids (:meth:`canonical_node_ids`),
+        so the snapshot matches what the batch pipeline (with
+        purging/filtering disabled) builds from the live entities in arrival
+        order — up to block order, which no downstream consumer depends on.
         """
+        canonical = self.canonical_node_ids()
         blocks = []
         for block_id, key in enumerate(self._block_keys):
             if self._block_cardinalities[block_id] <= 0:
@@ -523,8 +1285,12 @@ class MutableBlockIndex:
             blocks.append(
                 Block(
                     key=key,
-                    entities_first=sorted(self._members_first[block_id]),
-                    entities_second=sorted(self._members_second[block_id]),
+                    entities_first=sorted(
+                        int(canonical[node]) for node in self._members_first[block_id]
+                    ),
+                    entities_second=sorted(
+                        int(canonical[node]) for node in self._members_second[block_id]
+                    ),
                 )
             )
         return BlockCollection(blocks, self.index_space(), name=self.name)

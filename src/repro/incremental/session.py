@@ -1,32 +1,42 @@
 """Online matching sessions on top of the incremental block index.
 
 A :class:`MatchingSession` wraps a *frozen* probabilistic classifier taken
-from a batch pipeline run (:class:`FrozenModel`) and serves inserts: every
-``insert`` registers the entity in a :class:`MutableBlockIndex`, computes the
-feature vectors of the candidate delta with a :class:`DeltaFeatureGenerator`,
-scores them with the frozen model, and returns the entity's current matches
-under an *online* pruning policy:
+from a batch pipeline run (:class:`FrozenModel`) and serves the full dynamic
+workload: every ``insert`` registers the entity in a
+:class:`MutableBlockIndex`, computes the feature vectors of the candidate
+delta with a :class:`DeltaFeatureGenerator`, scores them with the frozen
+model, and returns the entity's current matches under an *online* pruning
+policy; ``remove`` retracts an entity and evicts its dead pairs from the
+online aggregates; ``update`` corrects an entity in place; ``insert_bulk``
+loads a batch through the index's one-pass bulk path.
+
+The online policies:
 
 * :class:`OnlineWEP` — the WEP average-probability threshold maintained as a
-  running sum/count of valid scores;
+  running sum/count of valid scores; retractions subtract the dead pairs'
+  insert-time scores from the running aggregate;
 * :class:`OnlineTopK` — a CEP-style global top-K admission maintained with a
-  :class:`repro.utils.pqueue.BoundedTopQueue`.
+  :class:`repro.utils.pqueue.BoundedTopQueue`; retractions lazily delete the
+  dead pairs from the queue.
 
 Streaming answers are necessarily provisional: scores are taken at insert
-time, while later inserts keep shifting the block statistics.  The exact
+time, while later mutations keep shifting the block statistics.  The exact
 answer is always available through :meth:`MatchingSession.retained`, which
-re-evaluates every registered pair against the final statistics (reusing the
-maintained CSR and pair registry — no re-blocking, no re-extraction) and
-applies the configured *batch* pruning algorithm.  Feeding a session the full
-collection one entity at a time therefore reproduces the batch pipeline's
-retained pairs on the final collection; the equivalence tests in
-``tests/incremental/`` assert this exactly.
+re-evaluates every live pair against the final statistics (reusing the
+maintained CSR and pair registry — no re-blocking, no re-extraction),
+renumbers the survivors into the canonical batch node space and applies the
+configured *batch* pruning algorithm.  Any interleaving of inserts, removals,
+updates and bulk loads ending in collection ``C`` therefore reproduces the
+batch pipeline's retained pairs on ``C`` — for every pruning algorithm,
+including the cardinality-based CEP/CNP/RCNP, whose probability ties are
+broken deterministically by packed candidate key on both sides.  The
+equivalence tests in ``tests/incremental/`` assert this exactly.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Optional, Tuple, Union
+from typing import Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -36,7 +46,14 @@ from ..datamodel import CandidateSet, EntityProfile
 from ..ml import ProbabilisticClassifier, StandardScaler
 from ..utils.pqueue import BoundedTopQueue
 from .delta import DeltaFeatureGenerator
-from .index import MutableBlockIndex, _Growable
+from .index import (
+    BulkInsertDelta,
+    MutableBlockIndex,
+    RetractionDelta,
+    UnknownEntityError,
+    _Growable,
+    pack_pair_keys,
+)
 
 
 @dataclass(frozen=True)
@@ -85,13 +102,26 @@ class FrozenModel:
 
 
 class OnlinePruningPolicy:
-    """Decide, per insert, which freshly scored pairs currently qualify."""
+    """Decide, per mutation, which freshly scored pairs currently qualify."""
 
     name: str = "online"
 
-    def admit(self, probabilities: np.ndarray, positions: np.ndarray) -> np.ndarray:
-        """Update the online state with the new scores; return an admit mask."""
+    def admit(
+        self,
+        probabilities: np.ndarray,
+        positions: np.ndarray,
+        keys: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Update the online state with the new scores; return an admit mask.
+
+        ``keys`` are optional packed candidate keys used for deterministic
+        tie-breaking by policies that rank pairs.
+        """
         raise NotImplementedError
+
+    def retract(self, probabilities: np.ndarray, positions: np.ndarray) -> None:
+        """Evict retracted pairs (given their insert-time scores) from the
+        online state.  The default is a no-op for stateless policies."""
 
 
 class OnlineWEP(OnlinePruningPolicy):
@@ -100,6 +130,8 @@ class OnlineWEP(OnlinePruningPolicy):
     Keeps the sum and count of all *valid* scores (probability >= 0.5) seen
     so far; a new pair is admitted when its score is valid and reaches the
     current running average — the streaming analogue of Algorithm 1.
+    Retracting a pair removes its insert-time score from the running
+    aggregate, so deleted entities stop weighing on the threshold.
     """
 
     name = "wep"
@@ -115,11 +147,26 @@ class OnlineWEP(OnlinePruningPolicy):
             return VALIDITY_THRESHOLD
         return self._valid_sum / self._valid_count
 
-    def admit(self, probabilities: np.ndarray, positions: np.ndarray) -> np.ndarray:
+    def admit(
+        self,
+        probabilities: np.ndarray,
+        positions: np.ndarray,
+        keys: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
         valid = probabilities >= VALIDITY_THRESHOLD
         self._valid_sum += float(probabilities[valid].sum())
         self._valid_count += int(valid.sum())
         return valid & (probabilities >= self.threshold)
+
+    def retract(self, probabilities: np.ndarray, positions: np.ndarray) -> None:
+        valid = probabilities >= VALIDITY_THRESHOLD
+        self._valid_sum -= float(probabilities[valid].sum())
+        self._valid_count -= int(valid.sum())
+        if self._valid_count <= 0:
+            # reset exactly; repeated add/subtract cycles must not leave
+            # float residue behind an empty aggregate
+            self._valid_sum = 0.0
+            self._valid_count = 0
 
 
 class OnlineTopK(OnlinePruningPolicy):
@@ -131,6 +178,8 @@ class OnlineTopK(OnlinePruningPolicy):
         The retention budget K.  The queue's minimum retained weight is the
         admission threshold, exactly as in Algorithm 4; evicted pairs simply
         stop being reported (earlier answers are provisional by design).
+        Retracted pairs are lazily deleted from the queue, freeing their
+        budget slots immediately.
     """
 
     name = "topk"
@@ -143,16 +192,28 @@ class OnlineTopK(OnlinePruningPolicy):
         """The current admission threshold (minimum retained weight)."""
         return max(self._queue.min_weight, VALIDITY_THRESHOLD)
 
-    def admit(self, probabilities: np.ndarray, positions: np.ndarray) -> np.ndarray:
+    def admit(
+        self,
+        probabilities: np.ndarray,
+        positions: np.ndarray,
+        keys: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
         mask = np.zeros(probabilities.size, dtype=bool)
-        for offset, (probability, position) in enumerate(
-            zip(probabilities.tolist(), positions.tolist())
+        key_list = keys.tolist() if keys is not None else [None] * probabilities.size
+        for offset, (probability, position, key) in enumerate(
+            zip(probabilities.tolist(), positions.tolist(), key_list)
         ):
             if probability < VALIDITY_THRESHOLD:
                 continue
-            evicted = self._queue.push(probability, int(position))
+            evicted = self._queue.push(
+                probability, int(position), key=None if key is None else int(key)
+            )
             mask[offset] = evicted != int(position)
         return mask
+
+    def retract(self, probabilities: np.ndarray, positions: np.ndarray) -> None:
+        for position in positions.tolist():
+            self._queue.discard(int(position))
 
 
 def _resolve_online_policy(
@@ -186,11 +247,51 @@ class InsertResult:
     matches: Tuple[Tuple[str, float], ...]
 
 
+@dataclass(frozen=True)
+class RemovalResult:
+    """The outcome of one streaming removal."""
+
+    #: the removed entity's identifier
+    entity_id: str
+    #: node id the entity held (never reused)
+    node: int
+    #: number of candidate pairs the removal retracted
+    num_retracted_pairs: int
+    #: entity ids of the retracted counterparts
+    counterpart_ids: Tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class UpdateResult:
+    """The outcome of one streaming in-place correction."""
+
+    #: the retraction of the old version
+    removed: RemovalResult
+    #: the insert of the new version (fresh node id, freshly scored pairs)
+    inserted: InsertResult
+
+
+@dataclass(frozen=True)
+class BulkInsertResult:
+    """The outcome of one bulk load."""
+
+    #: the inserted entities' identifiers, in input order
+    entity_ids: Tuple[str, ...]
+    #: node ids assigned by the session's index, in input order
+    nodes: np.ndarray
+    #: number of candidate pairs the batch introduced
+    num_new_pairs: int
+    #: match probability of every new pair (registry order)
+    probabilities: np.ndarray
+    #: number of new pairs the online policy admitted
+    num_admitted: int
+
+
 @dataclass
 class SessionResult:
-    """The exact (batch-equivalent) answer over all streamed entities."""
+    """The exact (batch-equivalent) answer over all live streamed entities."""
 
-    #: every registered candidate pair
+    #: every live candidate pair
     candidates: CandidateSet
     #: match probability of every pair under the final statistics
     probabilities: np.ndarray
@@ -211,7 +312,8 @@ class SessionResult:
 
 
 class MatchingSession:
-    """Serve entity inserts against a frozen batch-trained matcher.
+    """Serve entity inserts, removals and updates against a frozen
+    batch-trained matcher.
 
     Parameters
     ----------
@@ -227,7 +329,8 @@ class MatchingSession:
     pruning:
         The *batch* pruning algorithm name or instance applied by
         :meth:`retained` (default BLAST, the paper's best weight-based
-        algorithm).
+        algorithm).  All algorithms — weight- and cardinality-based — are
+        exactly batch-equivalent.
     online:
         The per-insert online policy: ``"wep"`` (default), ``"topk"``, or an
         :class:`OnlinePruningPolicy` instance.
@@ -251,22 +354,24 @@ class MatchingSession:
             get_pruning_algorithm(pruning) if isinstance(pruning, str) else pruning
         )
         self.online = _resolve_online_policy(online, top_k)
-        #: probability of every pair at the time it was inserted (provisional)
+        #: probability of every registry position at the time it was inserted
+        #: (provisional; retracted positions keep their last score)
         self._insert_probabilities = _Growable(np.float64, capacity=1024)
 
     # -- introspection ---------------------------------------------------------
     @property
     def num_entities(self) -> int:
-        """Number of streamed entities."""
+        """Number of live streamed entities."""
         return self.index.num_entities
 
     @property
     def num_pairs(self) -> int:
-        """Number of distinct candidate pairs registered so far."""
+        """Number of live distinct candidate pairs."""
         return self.index.num_pairs
 
     def insert_time_probabilities(self) -> np.ndarray:
-        """The provisional score every pair received when it was inserted."""
+        """The provisional score every registry position received at insert
+        time (including positions whose pairs were since retracted)."""
         return self._insert_probabilities.view().copy()
 
     # -- streaming -------------------------------------------------------------
@@ -276,7 +381,10 @@ class MatchingSession:
         matrix = self.features.generate_delta(delta)
         probabilities = self.model.score(matrix.values)
         self._insert_probabilities.extend(probabilities)
-        admitted = self.online.admit(probabilities, delta.pair_positions)
+        keys = pack_pair_keys(
+            delta.counterparts, np.full(delta.counterparts.size, delta.node)
+        )
+        admitted = self.online.admit(probabilities, delta.pair_positions, keys=keys)
 
         counterpart_ids = tuple(
             self.index.entity_id(int(node)) for node in delta.counterparts
@@ -302,15 +410,85 @@ class MatchingSession:
         """Insert several entities from the same side, one at a time."""
         return [self.insert(profile, side=side) for profile in profiles]
 
+    def insert_bulk(
+        self, profiles: Sequence[EntityProfile], side: int = 0
+    ) -> BulkInsertResult:
+        """Load a batch of same-side entities through the index's bulk path.
+
+        The whole batch is tokenized, merged into the live CSR and scored in
+        one pass.  The *index state* (and therefore :meth:`retained`) ends
+        up identical to one-at-a-time inserts; the *provisional* online
+        admissions may differ, because the policy sees the batch's scores
+        together — OnlineWEP folds them all into its running average before
+        thresholding any of them, where sequential inserts would threshold
+        each pair against the average as of its own arrival.
+        """
+        delta = self.index.add_entities_bulk(profiles, side=side)
+        candidates = self.index.bulk_candidate_set(delta)
+        matrix = self.features.generate(candidates)
+        probabilities = self.model.score(matrix.values)
+        self._insert_probabilities.extend(probabilities)
+        keys = pack_pair_keys(delta.pair_left, delta.pair_right)
+        admitted = self.online.admit(probabilities, delta.pair_positions, keys=keys)
+        return BulkInsertResult(
+            entity_ids=delta.entity_ids,
+            nodes=delta.nodes,
+            num_new_pairs=delta.num_new_pairs,
+            probabilities=probabilities,
+            num_admitted=int(admitted.sum()),
+        )
+
+    def remove(self, entity_id: str, side: int = 0) -> RemovalResult:
+        """Retract one entity and evict its dead pairs from the online state.
+
+        Raises
+        ------
+        UnknownEntityError
+            When the entity is not currently live on ``side``; neither the
+            index nor the online aggregates are touched.
+        """
+        retraction = self.index.remove_entity(entity_id, side=side)
+        self._retract_from_online(retraction)
+        return RemovalResult(
+            entity_id=retraction.entity_id,
+            node=retraction.node,
+            num_retracted_pairs=retraction.num_retracted_pairs,
+            counterpart_ids=tuple(
+                self.index.entity_id(int(node)) for node in retraction.counterparts
+            ),
+        )
+
+    def update(self, profile: EntityProfile, side: int = 0) -> UpdateResult:
+        """Correct a live entity in place: retract it, then re-insert the new
+        version (fresh node id, freshly scored pairs).
+
+        Raises
+        ------
+        UnknownEntityError
+            When the entity is not currently live on ``side``.
+        """
+        removed = self.remove(profile.entity_id, side=side)
+        inserted = self.insert(profile, side=side)
+        return UpdateResult(removed=removed, inserted=inserted)
+
+    def _retract_from_online(self, retraction: RetractionDelta) -> None:
+        positions = retraction.pair_positions
+        if positions.size == 0:
+            return
+        scores = self._insert_probabilities.view()[positions].copy()
+        self.online.retract(scores, positions)
+
     # -- exact finalisation ----------------------------------------------------
     def retained(self) -> SessionResult:
-        """The exact answer on the streamed collection.
+        """The exact answer on the live streamed collection.
 
-        Re-evaluates every registered pair against the final incremental
+        Re-evaluates every live pair against the final incremental
         statistics (one vectorized pass over the maintained CSR and pair
-        registry), scores with the frozen model and applies the configured
-        batch pruning algorithm — reproducing what the batch pipeline
-        retains on the same final collection.
+        registry), scores with the frozen model, renumbers the candidates
+        into the canonical batch node space and applies the configured batch
+        pruning algorithm — reproducing what the batch pipeline retains on
+        the same final collection, for every pruning algorithm including
+        CEP/CNP/RCNP.
         """
         candidates, matrix = self.features.generate_all()
         probabilities = self.model.score(matrix.values)
@@ -318,7 +496,9 @@ class MatchingSession:
             mask = np.zeros(0, dtype=bool)
         else:
             mask = self.pruning.prune(
-                probabilities, candidates, self.index.snapshot_blocks()
+                probabilities,
+                self.index.canonical_candidates(candidates),
+                self.index.snapshot_blocks(),
             )
         retained_ids = tuple(
             self._id_pair(int(i), int(j))

@@ -1,17 +1,20 @@
 """Streaming application harness: bootstrap training + stream replay.
 
-``repro stream`` (and the incremental-vs-batch bench) share this layer.  A
+``repro stream`` (and the dynamic-churn bench) share this layer.  A
 Clean-Clean dataset is split into a *bootstrap* prefix used to train the
 frozen classifier through the regular batch pipeline, and the whole
 collection is then replayed through a :class:`MatchingSession` one entity at
 a time, recording per-insert latency and the candidate delta of every
-insert.
+insert.  A non-zero ``delete_fraction`` interleaves seeded random entity
+removals with the inserts (``repro stream --deletes``), exercising the fully
+dynamic index; per-delete latency and retraction sizes are recorded
+alongside the insert metrics.
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Iterator, List, Optional, Sequence, Set, Tuple, Union
 
 import numpy as np
@@ -20,7 +23,7 @@ from ..blocking import prepare_blocks
 from ..core.pipeline import GeneralizedSupervisedMetaBlocking
 from ..datamodel import EntityCollection, EntityProfile, GroundTruth
 from ..datasets.benchmarks import CleanCleanDataset
-from ..utils.rng import SeedLike
+from ..utils.rng import SeedLike, make_rng
 from ..weights import BLAST_FEATURE_SET
 from .session import FrozenModel, MatchingSession, OnlinePruningPolicy, SessionResult
 
@@ -147,6 +150,14 @@ def interleave_profiles(
             return
 
 
+def _empty_floats() -> np.ndarray:
+    return np.zeros(0, dtype=np.float64)
+
+
+def _empty_ints() -> np.ndarray:
+    return np.zeros(0, dtype=np.int64)
+
+
 @dataclass
 class StreamReplay:
     """Everything measured while replaying a dataset through a session."""
@@ -159,11 +170,20 @@ class StreamReplay:
     delta_sizes: np.ndarray
     #: number of streaming matches reported online per insert
     online_matches: np.ndarray
+    #: wall-clock seconds of every interleaved delete (empty without churn)
+    delete_seconds: np.ndarray = field(default_factory=_empty_floats)
+    #: retraction delta (number of dead pairs) of every delete
+    retraction_sizes: np.ndarray = field(default_factory=_empty_ints)
 
     @property
     def num_inserts(self) -> int:
         """Number of entities streamed."""
         return int(self.insert_seconds.size)
+
+    @property
+    def num_deletes(self) -> int:
+        """Number of entities removed during the replay."""
+        return int(self.delete_seconds.size)
 
     @property
     def total_seconds(self) -> float:
@@ -194,14 +214,34 @@ def replay_stream(
     online: Union[str, OnlinePruningPolicy, None] = "wep",
     top_k: int = 1000,
     limit: Optional[int] = None,
+    delete_fraction: float = 0.0,
+    churn_seed: SeedLike = 0,
 ) -> StreamReplay:
-    """Stream a Clean-Clean dataset through a fresh matching session."""
+    """Stream a Clean-Clean dataset through a fresh matching session.
+
+    Parameters
+    ----------
+    delete_fraction:
+        Probability, after each insert, of removing one uniformly chosen
+        *live* entity (seeded by ``churn_seed``) — a simple churn model that
+        interleaves retractions with arrivals.  ``0.0`` (default) replays
+        inserts only.
+    churn_seed:
+        Seed for the churn decisions, so delete-heavy replays are exactly
+        reproducible.
+    """
+    if not 0.0 <= delete_fraction < 1.0:
+        raise ValueError("delete_fraction must be in [0, 1)")
     session = MatchingSession(
         model, bilateral=True, pruning=pruning, online=online, top_k=top_k
     )
+    rng = make_rng(churn_seed)
     seconds: List[float] = []
     deltas: List[int] = []
     matches: List[int] = []
+    delete_seconds: List[float] = []
+    retraction_sizes: List[int] = []
+    live: List[Tuple[str, int]] = []
     for profile, side in interleave_profiles(dataset.first, dataset.second):
         if limit is not None and len(seconds) >= limit:
             break
@@ -210,12 +250,39 @@ def replay_stream(
         seconds.append(time.perf_counter() - started)
         deltas.append(result.num_new_pairs)
         matches.append(len(result.matches))
+        live.append((profile.entity_id, side))
+        if delete_fraction and live and rng.random() < delete_fraction:
+            victim_id, victim_side = live.pop(int(rng.integers(len(live))))
+            started = time.perf_counter()
+            removal = session.remove(victim_id, side=victim_side)
+            delete_seconds.append(time.perf_counter() - started)
+            retraction_sizes.append(removal.num_retracted_pairs)
     return StreamReplay(
         session=session,
         insert_seconds=np.asarray(seconds, dtype=np.float64),
         delta_sizes=np.asarray(deltas, dtype=np.int64),
         online_matches=np.asarray(matches, dtype=np.int64),
+        delete_seconds=np.asarray(delete_seconds, dtype=np.float64),
+        retraction_sizes=np.asarray(retraction_sizes, dtype=np.int64),
     )
+
+
+def live_truth_id_pairs(
+    index, truth_id_pairs: Set[Tuple[str, str]]
+) -> Set[Tuple[str, str]]:
+    """Restrict ground truth to duplicates whose entities are both *live*.
+
+    Recall over a dynamic stream must be judged against what the index can
+    possibly retain: duplicates never streamed (``--limit``) or since
+    retracted (``--deletes``) are not misses, they are out of scope.  This
+    recomputes the eligible set from the index's live state rather than from
+    what was ever inserted.
+    """
+    return {
+        (a, b)
+        for a, b in truth_id_pairs
+        if index.has_entity(a, 0) and index.has_entity(b, 1)
+    }
 
 
 def evaluate_retained_ids(

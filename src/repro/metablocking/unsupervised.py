@@ -123,9 +123,10 @@ class UnsupervisedCEP(UnsupervisedPruningAlgorithm):
             return mask
         if graph.edge_count <= budget:
             return np.ones(graph.edge_count, dtype=bool)
+        keys = graph.candidates.packed_keys()
         queue: BoundedTopQueue[int] = BoundedTopQueue(budget)
         for position, weight in enumerate(graph.weights):
-            queue.push(float(weight), position)
+            queue.push(float(weight), position, key=int(keys[position]))
         mask[np.array(queue.items(), dtype=np.int64)] = True
         return mask
 
@@ -150,7 +151,9 @@ class UnsupervisedCNP(UnsupervisedPruningAlgorithm):
             budget = cnp_budget(blocks)
 
         queues: Dict[int, BoundedTopQueue[int]] = {}
+        keys = graph.candidates.packed_keys()
         for position, weight in enumerate(graph.weights):
+            key = int(keys[position])
             for node in (
                 int(graph.candidates.left[position]),
                 int(graph.candidates.right[position]),
@@ -159,7 +162,7 @@ class UnsupervisedCNP(UnsupervisedPruningAlgorithm):
                 if queue is None:
                     queue = BoundedTopQueue(budget)
                     queues[node] = queue
-                queue.push(float(weight), position)
+                queue.push(float(weight), position, key=key)
         retained: Dict[int, Set[int]] = {
             node: set(queue.items()) for node, queue in queues.items()
         }

@@ -133,3 +133,46 @@ class TestRelativeBehaviourOnRealisticData:
             )
             reports[pruning] = evaluate_result(result, prepared_abtbuy.ground_truth)
         assert reports["RCNP"].precision >= reports["CNP"].precision
+
+
+class TestDeterministicTieBreaking:
+    """Ties at the retention boundary resolve by packed candidate key, so
+    the retained *pair set* is invariant to candidate storage order."""
+
+    def _tied(self):
+        space = EntityIndexSpace(2, 3)
+        pairs = [(0, 2), (0, 3), (0, 4), (1, 2), (1, 3), (1, 4)]
+        probabilities = np.array([0.7, 0.7, 0.7, 0.7, 0.7, 0.9])
+        return space, pairs, probabilities
+
+    @pytest.mark.parametrize(
+        "algorithm", [SupervisedCEP(budget=3), SupervisedCNP(budget=1), SupervisedRCNP(budget=1)]
+    )
+    def test_retained_pairs_invariant_to_storage_order(self, algorithm):
+        space, pairs, probabilities = self._tied()
+        baseline = None
+        for order in ([0, 1, 2, 3, 4, 5], [5, 3, 1, 4, 2, 0], [2, 0, 5, 1, 4, 3]):
+            shuffled_pairs = [pairs[k] for k in order]
+            candidates = CandidateSet(
+                np.array([p[0] for p in shuffled_pairs]),
+                np.array([p[1] for p in shuffled_pairs]),
+                space,
+            )
+            mask = algorithm.prune(probabilities[order], candidates)
+            retained = {
+                (int(i), int(j))
+                for i, j in zip(candidates.left[mask], candidates.right[mask])
+            }
+            if baseline is None:
+                baseline = retained
+            else:
+                assert retained == baseline
+
+    def test_cep_ties_prefer_smaller_packed_keys(self):
+        space, pairs, probabilities = self._tied()
+        candidates = CandidateSet.from_pairs(pairs, space)
+        mask = SupervisedCEP(budget=3).prune(probabilities, candidates)
+        retained = set(zip(candidates.left[mask].tolist(), candidates.right[mask].tolist()))
+        # (1, 4) wins outright at 0.9; the two remaining slots go to the
+        # tied pairs with the smallest packed keys: (0, 2) and (0, 3)
+        assert retained == {(1, 4), (0, 2), (0, 3)}

@@ -14,7 +14,9 @@ from repro.core import FeatureVectorGenerator
 from repro.datamodel import EntityCollection, make_profile
 from repro.incremental import (
     DeltaFeatureGenerator,
+    DuplicateEntityError,
     MutableBlockIndex,
+    UnknownEntityError,
     interleave_profiles,
 )
 from repro.weights import BlockStatistics, PAPER_FEATURES
@@ -169,6 +171,245 @@ class TestBilateralIndex:
             MutableBlockIndex(bilateral=True).add_entity(
                 make_profile("y", text="t"), side=2
             )
+
+
+def _assert_matches_batch_canonical(index, first, second):
+    """Compare a (possibly churned) index against batch on the live data.
+
+    Unlike :func:`_assert_matches_batch`, node ids are bridged through
+    :meth:`MutableBlockIndex.canonical_node_ids` — the compact batch
+    numbering of the live survivors — so the comparison works after
+    removals, updates and bulk loads.
+    """
+    prepared = prepare_blocks(
+        first, second, apply_purging=False, apply_filtering=False
+    )
+    stats = BlockStatistics(prepared.blocks)
+    canonical = index.canonical_node_ids()
+
+    candidates = index.canonical_candidates(index.candidate_set())
+    streamed = set(zip(candidates.left.tolist(), candidates.right.tolist()))
+    batch = set(
+        zip(prepared.candidates.left.tolist(), prepared.candidates.right.tolist())
+    )
+    assert streamed == batch
+
+    assert index.num_nonempty_blocks == len(prepared.blocks)
+    assert index.total_cardinality == prepared.blocks.total_comparisons()
+    assert index.total_block_assignments == prepared.blocks.total_block_assignments()
+
+    live = np.flatnonzero(canonical >= 0)
+    order = live[np.argsort(canonical[live])]
+    view = index.statistics()
+    np.testing.assert_allclose(
+        view.blocks_per_entity[order], stats.blocks_per_entity, atol=1e-9
+    )
+    np.testing.assert_allclose(
+        view.entity_cardinality[order], stats.entity_cardinality, atol=1e-9
+    )
+    np.testing.assert_allclose(
+        view.entity_inv_cardinality[order], stats.entity_inv_cardinality, atol=1e-9
+    )
+    np.testing.assert_allclose(
+        view.entity_inv_size[order], stats.entity_inv_size, atol=1e-9
+    )
+    np.testing.assert_allclose(
+        view.local_candidate_counts_sparse()[order],
+        stats.local_candidate_counts(),
+        atol=1e-9,
+    )
+
+    snapshot = {
+        (block.key, tuple(block.entities_first), tuple(block.entities_second))
+        for block in index.snapshot_blocks()
+    }
+    batch_blocks = {
+        (block.key, tuple(block.entities_first), tuple(block.entities_second))
+        for block in prepared.blocks
+    }
+    assert snapshot == batch_blocks
+
+
+class TestDynamicIndex:
+    """Removal, update and bulk-load behaviour of the fully dynamic index."""
+
+    def _collection(self, prefix, rows, is_clean=True):
+        return EntityCollection(
+            _profiles([(f"{prefix}{k}", text) for k, text in enumerate(rows)]),
+            name=prefix,
+            is_clean=is_clean,
+        )
+
+    def test_removal_reverses_the_insert_exactly(self, small_stream):
+        """Insert A+B, remove B -> identical aggregates to inserting A only."""
+        first_profiles, second_profiles = small_stream
+        churned = MutableBlockIndex(bilateral=True)
+        for profile in first_profiles:
+            churned.add_entity(profile, side=0)
+        for profile in second_profiles:
+            churned.add_entity(profile, side=1)
+        for profile in second_profiles:
+            churned.remove_entity(profile.entity_id, side=1)
+        churned.remove_entity(first_profiles[1].entity_id, side=0)
+
+        survivors = [p for p in first_profiles if p.entity_id != first_profiles[1].entity_id]
+        first = EntityCollection(survivors, name="s1")
+        second = EntityCollection([], name="s2")
+        _assert_matches_batch_canonical(churned, first, second)
+
+    def test_update_changes_the_entity_signature(self):
+        index = MutableBlockIndex(bilateral=True)
+        index.add_entity(make_profile("a1", text="apple phone"), side=0)
+        index.add_entity(make_profile("b1", text="apple handset"), side=1)
+        assert index.num_pairs == 1
+        delta = index.update_entity(make_profile("a1", text="handset"), side=0)
+        assert delta.retraction.num_retracted_pairs == 1
+        assert delta.insert.num_new_pairs == 1
+        # fresh node id, arrival order re-entered at the end
+        assert delta.insert.node != delta.retraction.node
+        assert index.num_pairs == 1
+        assert index.num_entities == 2
+        first = EntityCollection([make_profile("a1", text="handset")], name="f")
+        second = EntityCollection([make_profile("b1", text="apple handset")], name="s")
+        _assert_matches_batch_canonical(index, first, second)
+
+    def test_retraction_delta_reports_dead_pairs(self):
+        index = MutableBlockIndex(bilateral=False)
+        index.add_entity(make_profile("d1", text="red widget"))
+        index.add_entity(make_profile("d2", text="red"))
+        index.add_entity(make_profile("d3", text="widget blue"))
+        assert index.num_pairs == 2
+        retraction = index.remove_entity("d1")
+        assert retraction.num_retracted_pairs == 2
+        assert sorted(retraction.counterparts.tolist()) == [1, 2]
+        assert index.num_pairs == 0
+        # degrees fully reversed
+        np.testing.assert_allclose(
+            index.statistics().local_candidate_counts_sparse(), 0.0
+        )
+
+    def test_unknown_entity_raises_named_error_without_corruption(self):
+        index = MutableBlockIndex(bilateral=False)
+        index.add_entity(make_profile("d1", text="solo token"))
+        before = index.total_cardinality, index.num_pairs, index.num_entities
+        with pytest.raises(UnknownEntityError, match="ghost"):
+            index.remove_entity("ghost")
+        with pytest.raises(UnknownEntityError, match="ghost"):
+            index.node_of("ghost")
+        assert (index.total_cardinality, index.num_pairs, index.num_entities) == before
+        # removing twice raises on the second attempt, leaving state intact
+        index.remove_entity("d1")
+        with pytest.raises(UnknownEntityError):
+            index.remove_entity("d1")
+
+    def test_duplicate_insert_raises_named_error(self):
+        index = MutableBlockIndex(bilateral=False)
+        index.add_entity(make_profile("d1", text="token"))
+        with pytest.raises(DuplicateEntityError, match="duplicate entity_id"):
+            index.add_entity(make_profile("d1", text="other"))
+        with pytest.raises(DuplicateEntityError):
+            index.add_entities_bulk([make_profile("d1", text="other")])
+        with pytest.raises(DuplicateEntityError):
+            index.add_entities_bulk(
+                [make_profile("d9", text="x"), make_profile("d9", text="y")]
+            )
+        # removal re-opens the id
+        index.remove_entity("d1")
+        delta = index.add_entity(make_profile("d1", text="token"))
+        assert delta.node == 1
+
+    def test_bulk_load_equals_sequential_inserts(self, small_stream):
+        first_profiles, second_profiles = small_stream
+        sequential = MutableBlockIndex(bilateral=True)
+        sequential.add_entities(first_profiles, side=0)
+        sequential.add_entities(second_profiles, side=1)
+
+        bulk = MutableBlockIndex(bilateral=True)
+        delta_first = bulk.add_entities_bulk(first_profiles, side=0)
+        delta_second = bulk.add_entities_bulk(second_profiles, side=1)
+        assert delta_first.nodes.tolist() == list(range(len(first_profiles)))
+        assert (
+            delta_first.num_new_pairs + delta_second.num_new_pairs
+            == sequential.num_pairs
+        )
+
+        assert bulk.num_pairs == sequential.num_pairs
+        assert bulk.total_cardinality == sequential.total_cardinality
+        assert bulk.num_nonempty_blocks == sequential.num_nonempty_blocks
+        assert bulk.total_block_assignments == sequential.total_block_assignments
+        bulk_pairs = bulk.candidate_set()
+        seq_pairs = sequential.candidate_set()
+        assert set(zip(bulk_pairs.left.tolist(), bulk_pairs.right.tolist())) == set(
+            zip(seq_pairs.left.tolist(), seq_pairs.right.tolist())
+        )
+        for name in (
+            "_blocks_per_entity",
+            "_entity_cardinality",
+            "_entity_inv_cardinality",
+            "_entity_inv_size",
+            "_degrees",
+        ):
+            np.testing.assert_allclose(
+                getattr(bulk, name).view(),
+                getattr(sequential, name).view(),
+                rtol=1e-12,
+                atol=1e-12,
+                err_msg=name,
+            )
+        # CSR rows identical (same per-row sorted block ids)
+        np.testing.assert_array_equal(
+            bulk.csr().indptr, sequential.csr().indptr
+        )
+        np.testing.assert_array_equal(
+            bulk.csr().indices, sequential.csr().indices
+        )
+
+    def test_bulk_load_matches_batch_after_churn(self):
+        index = MutableBlockIndex(bilateral=False)
+        index.add_entities_bulk(
+            _profiles([("d1", "red widget"), ("d2", "red deluxe"), ("d3", "blue")])
+        )
+        index.remove_entity("d2")
+        index.add_entities_bulk(
+            _profiles([("d4", "red blue widget"), ("d5", "deluxe")])
+        )
+        index.update_entity(make_profile("d3", text="blue deluxe"))
+        live = EntityCollection(
+            _profiles(
+                [
+                    ("d1", "red widget"),
+                    ("d4", "red blue widget"),
+                    ("d5", "deluxe"),
+                    ("d3", "blue deluxe"),
+                ]
+            ),
+            name="dirty",
+            is_clean=False,
+        )
+        _assert_matches_batch_canonical(index, live, None)
+
+    def test_bulk_load_of_empty_batch_is_a_no_op(self):
+        index = MutableBlockIndex(bilateral=False)
+        delta = index.add_entities_bulk([])
+        assert delta.num_new_pairs == 0
+        assert delta.nodes.size == 0
+        assert index.num_entities == 0
+
+    def test_live_bookkeeping_after_churn(self):
+        index = MutableBlockIndex(bilateral=True)
+        index.add_entity(make_profile("a1", text="x y"), side=0)
+        index.add_entity(make_profile("b1", text="y z"), side=1)
+        index.remove_entity("a1", side=0)
+        assert index.num_entities == 1
+        assert index.num_slots == 2
+        assert not index.has_entity("a1", side=0)
+        assert not index.is_live(0)
+        assert index.is_live(1)
+        assert index.side_of(0) == -1
+        space = index.index_space()
+        assert (space.size_first, space.size_second) == (0, 1)
+        canonical = index.canonical_node_ids()
+        assert canonical.tolist() == [-1, 0]
 
 
 class TestUnilateralIndex:

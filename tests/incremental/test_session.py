@@ -11,8 +11,9 @@ import numpy as np
 import pytest
 
 from repro.blocking import prepare_blocks
-from repro.core import GeneralizedSupervisedMetaBlocking
-from repro.datamodel import make_profile
+from repro.core import FeatureVectorGenerator, GeneralizedSupervisedMetaBlocking
+from repro.core.pruning import get_pruning_algorithm
+from repro.datamodel import EntityCollection, make_profile
 from repro.datasets import load_benchmark
 from repro.incremental import (
     FrozenModel,
@@ -20,12 +21,13 @@ from repro.incremental import (
     OnlineTopK,
     OnlineWEP,
     StreamTrainingError,
+    UnknownEntityError,
     interleave_profiles,
     replay_stream,
     split_bootstrap,
     train_frozen_model,
 )
-from repro.weights import BLAST_FEATURE_SET
+from repro.weights import BLAST_FEATURE_SET, BlockStatistics
 
 
 def _batch_retained_ids(dataset, result):
@@ -79,6 +81,137 @@ class TestBatchEquivalence:
         assert session.retained().retained_id_set() == _batch_retained_ids(
             dataset, wep_result
         )
+
+
+def _batch_retained_on_live(model, first, second, pruning):
+    """Apply the frozen model + batch pruning to a live collection pair."""
+    prepared = prepare_blocks(
+        first, second, apply_purging=False, apply_filtering=False
+    )
+    stats = BlockStatistics(prepared.blocks)
+    matrix = FeatureVectorGenerator(model.feature_set, backend="sparse").generate(
+        prepared.candidates, stats
+    )
+    probabilities = model.score(matrix.values)
+    if len(prepared.candidates) == 0:
+        return set()
+    mask = get_pruning_algorithm(pruning).prune(
+        probabilities, prepared.candidates, prepared.blocks
+    )
+    size_first = len(first)
+    return {
+        (first[int(i)].entity_id, second[int(j) - size_first].entity_id)
+        for i, j in zip(
+            prepared.candidates.left[mask], prepared.candidates.right[mask]
+        )
+    }
+
+
+class TestDynamicEquivalence:
+    """Removal/update/bulk paths stay exactly batch-equivalent on fixtures."""
+
+    @pytest.mark.parametrize("pruning", ["BLAST", "CEP", "RCNP"])
+    def test_delete_heavy_replay_matches_batch_on_survivors(
+        self, streamed_fixture, pruning
+    ):
+        dataset, _, result = streamed_fixture
+        model = FrozenModel.from_batch(result)
+        replay = replay_stream(
+            dataset, model, pruning=pruning, delete_fraction=0.3, churn_seed=5
+        )
+        assert replay.num_deletes > 0
+        index = replay.session.index
+        live_first = EntityCollection(
+            [p for p in dataset.first if index.has_entity(p.entity_id, 0)],
+            name="live-1",
+        )
+        live_second = EntityCollection(
+            [p for p in dataset.second if index.has_entity(p.entity_id, 1)],
+            name="live-2",
+        )
+        batch = _batch_retained_on_live(model, live_first, live_second, pruning)
+        assert replay.session.retained().retained_id_set() == batch
+
+    def test_cardinality_pruning_matches_batch_without_churn(self, streamed_fixture):
+        """The headline bugfix: CEP is exactly batch-equivalent while streaming."""
+        dataset, prepared, _ = streamed_fixture
+        pipeline = GeneralizedSupervisedMetaBlocking(
+            feature_set=BLAST_FEATURE_SET, pruning="CEP", training_size=50, seed=3
+        )
+        cep_result = pipeline.run(
+            prepared.blocks, prepared.candidates, dataset.ground_truth
+        )
+        session = MatchingSession(
+            FrozenModel.from_batch(cep_result), bilateral=True, pruning="CEP"
+        )
+        for profile, side in interleave_profiles(dataset.first, dataset.second):
+            session.insert(profile, side=side)
+        assert session.retained().retained_id_set() == _batch_retained_ids(
+            dataset, cep_result
+        )
+
+    def test_bulk_insert_matches_per_entity_inserts(self, streamed_fixture):
+        dataset, _, result = streamed_fixture
+        model = FrozenModel.from_batch(result)
+        one_at_a_time = MatchingSession(model, bilateral=True)
+        one_at_a_time.insert_many(dataset.first, side=0)
+        one_at_a_time.insert_many(dataset.second, side=1)
+        bulk = MatchingSession(model, bilateral=True)
+        outcome_first = bulk.insert_bulk(list(dataset.first), side=0)
+        outcome_second = bulk.insert_bulk(list(dataset.second), side=1)
+        assert (
+            outcome_first.num_new_pairs + outcome_second.num_new_pairs
+            == one_at_a_time.num_pairs
+        )
+        assert bulk.retained().retained_id_set() == one_at_a_time.retained().retained_id_set()
+
+    def test_update_rescores_against_current_statistics(self, streamed_fixture):
+        dataset, _, result = streamed_fixture
+        model = FrozenModel.from_batch(result)
+        session = MatchingSession(model, bilateral=True)
+        for profile, side in interleave_profiles(dataset.first, dataset.second):
+            session.insert(profile, side=side)
+        victim = dataset.first[0]
+        outcome = session.update(victim, side=0)
+        assert outcome.removed.entity_id == victim.entity_id
+        assert outcome.inserted.entity_id == victim.entity_id
+        # same profile re-inserted -> same live pair set as plain streaming
+        assert session.retained().retained_id_set() == _batch_retained_ids(
+            dataset, result
+        )
+
+    def test_remove_unknown_entity_raises_named_error(self, streamed_fixture):
+        _, _, result = streamed_fixture
+        session = MatchingSession(FrozenModel.from_batch(result), bilateral=True)
+        session.insert(make_profile("a1", text="alpha beta"), side=0)
+        with pytest.raises(UnknownEntityError, match="ghost"):
+            session.remove("ghost", side=0)
+        with pytest.raises(UnknownEntityError, match="a1"):
+            session.remove("a1", side=1)  # wrong side is unknown too
+        assert session.num_entities == 1
+
+    def test_topk_policy_evicts_retracted_pairs(self, streamed_fixture):
+        _, _, result = streamed_fixture
+        session = MatchingSession(
+            FrozenModel.from_batch(result), bilateral=True, online="topk", top_k=3
+        )
+        session.insert(make_profile("a1", text="alpha beta gamma"), side=0)
+        session.insert(make_profile("b1", text="alpha beta gamma"), side=1)
+        session.insert(make_profile("b2", text="alpha beta"), side=1)
+        queue = session.online._queue
+        occupied = len(queue)
+        session.remove("a1", side=0)
+        assert len(queue) < occupied or occupied == 0
+        assert session.num_pairs == 0
+
+    def test_online_wep_retraction_restores_threshold(self):
+        policy = OnlineWEP()
+        policy.admit(np.array([0.9, 0.2, 0.7]), np.arange(3))
+        policy.retract(np.array([0.9]), np.array([0]))
+        assert policy.threshold == pytest.approx(0.7)
+        policy.retract(np.array([0.7, 0.2]), np.array([2, 1]))
+        # empty aggregate resets exactly to the validity threshold
+        assert policy.threshold == 0.5
 
 
 class TestSessionBehaviour:

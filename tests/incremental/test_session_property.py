@@ -29,10 +29,12 @@ from repro.weights import BlockStatistics, RCNP_FEATURE_SET
 #: LCP columns whose orientation the streaming generator must preserve.
 FEATURE_SET = RCNP_FEATURE_SET
 
-#: The order-invariant (weight-based) pruning algorithms; the cardinality
-#: algorithms break ties by candidate order, which differs by construction
-#: between arrival-ordered and canonical pair storage.
-PRUNING = ("BLAST", "WEP", "WNP", "RWNP")
+#: Every pruning algorithm is exactly batch-equivalent: the weight-based
+#: ones are order-invariant by construction, and the cardinality-based ones
+#: (CEP/CNP/RCNP) break probability ties deterministically by packed
+#: candidate key, so arrival-ordered and canonical pair storage retain the
+#: same set.
+PRUNING = ("BLAST", "WEP", "WNP", "RWNP", "CEP", "CNP", "RCNP")
 
 
 class _FixedLogistic:

@@ -107,10 +107,25 @@ class TestStream:
         assert exit_code == 0
         assert "pairs retained" in capsys.readouterr().out
 
+    def test_stream_with_deletes_reports_churn_and_live_recall(self, capsys):
+        exit_code = main(
+            ["stream", "--dataset", "DblpAcm", "--scale", "0.1", "--deletes", "0.4"]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "deletes:" in output
+        assert "entities retracted" in output
+        assert "pairs retained" in output
+        # recall is judged against the live index state, so heavy churn must
+        # not drag it down by counting retracted duplicates as misses
+        recall = float(output.rsplit("recall=", 1)[1].split()[0])
+        assert 0.0 <= recall <= 1.0
+
     def test_stream_invalid_options_give_argparse_errors(self, capsys):
         for argv in (
             ["stream", "--bootstrap", "1.5"],
             ["stream", "--online", "topk", "--top-k", "0"],
+            ["stream", "--deletes", "1.5"],
         ):
             with pytest.raises(SystemExit) as excinfo:
                 main(argv)

@@ -59,3 +59,67 @@ class TestBoundedTopQueue:
             queue.push(index / 10, index)
         assert len(queue) == 3
         assert list(queue) == [2, 1, 0]
+
+
+class TestDeterministicTieKeys:
+    def test_explicit_keys_break_ties_order_independently(self):
+        """Among equal weights the smallest key survives, however pushed."""
+        for order in ([(7, "g"), (3, "c"), (5, "e")], [(5, "e"), (7, "g"), (3, "c")]):
+            queue = BoundedTopQueue(2)
+            for key, item in order:
+                queue.push(0.5, item, key=key)
+            assert queue.items() == ["c", "e"]
+
+    def test_key_beats_insertion_order(self):
+        queue = BoundedTopQueue(1)
+        queue.push(0.5, "late-key", key=9)
+        evicted = queue.push(0.5, "early-key", key=1)
+        assert evicted == "late-key"
+        assert queue.items() == ["early-key"]
+
+    def test_weight_still_dominates_key(self):
+        queue = BoundedTopQueue(1)
+        queue.push(0.4, "low", key=1)
+        assert queue.push(0.9, "high", key=99) == "low"
+        assert queue.items() == ["high"]
+
+
+class TestLazyDeletion:
+    def test_discard_frees_a_slot(self):
+        queue = BoundedTopQueue(2)
+        queue.push(0.9, "a")
+        queue.push(0.8, "b")
+        assert queue.min_weight == pytest.approx(0.8)
+        assert queue.discard("b") is True
+        assert len(queue) == 1
+        assert "b" not in queue
+        assert queue.min_weight == 0.0  # not full any more
+        assert queue.push(0.1, "c") is None  # freed slot admits a weak item
+        assert queue.items() == ["a", "c"]
+
+    def test_discard_unknown_item_is_a_safe_no_op(self):
+        queue = BoundedTopQueue(2)
+        queue.push(0.9, "a")
+        assert queue.discard("ghost") is False
+        assert queue.discard("a") is True
+        assert queue.discard("a") is False  # already gone
+        assert len(queue) == 0
+
+    def test_dead_entries_are_skimmed_from_the_threshold(self):
+        queue = BoundedTopQueue(3)
+        queue.push(0.2, "low")
+        queue.push(0.5, "mid")
+        queue.push(0.9, "high")
+        queue.discard("low")
+        queue.push(0.3, "fill")
+        # the tombstoned 0.2 entry must not masquerade as the minimum
+        assert queue.min_weight == pytest.approx(0.3)
+        assert queue.items() == ["high", "mid", "fill"]
+
+    def test_discarded_then_repushed_item(self):
+        queue = BoundedTopQueue(2)
+        queue.push(0.6, "x")
+        queue.discard("x")
+        queue.push(0.7, "x")
+        assert "x" in queue
+        assert queue.weighted_items() == [(0.7, "x")]
