@@ -7,12 +7,13 @@
 #   make bench-stream      - incremental streaming vs batch recompute bench
 #   make bench-churn       - dynamic churn bench (delete latency, bulk loads)
 #   make bench-blocking    - block-preparation bench (loop vs array backend)
+#   make bench-parallel    - sharded-engine scaling bench (speedup vs workers)
 #   make bench             - the full pytest-benchmark harness
 
 PYTHON ?= python
 PYTEST  = PYTHONPATH=src $(PYTHON) -m pytest
 
-.PHONY: test test-equivalence test-fast bench-smoke bench-stream bench-churn bench-blocking bench
+.PHONY: test test-equivalence test-fast bench-smoke bench-stream bench-churn bench-blocking bench-parallel bench
 
 test:
 	$(PYTEST) -x -q
@@ -34,6 +35,9 @@ bench-churn:
 
 bench-blocking:
 	$(PYTEST) -q benchmarks/bench_blocking_runtime.py
+
+bench-parallel:
+	$(PYTEST) -q benchmarks/bench_parallel_scaling.py
 
 bench:
 	$(PYTEST) -q benchmarks/ -o python_files='bench_*.py' --benchmark-only

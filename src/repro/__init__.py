@@ -84,8 +84,10 @@ from .incremental import (
     FrozenModel,
     MatchingSession,
     MutableBlockIndex,
+    ShardedMutableBlockIndex,
 )
 from .ml import GaussianNB, LinearSVC, LogisticRegression
+from .parallel import ParallelExecutor, ShardPlanner
 from .weights import (
     BLAST_FEATURE_SET,
     BlockStatistics,
@@ -94,7 +96,7 @@ from .weights import (
     RCNP_FEATURE_SET,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "BLAST_FEATURE_SET",
@@ -120,9 +122,12 @@ __all__ = [
     "MetaBlockingResult",
     "MutableBlockIndex",
     "ORIGINAL_FEATURE_SET",
+    "ParallelExecutor",
     "PAPER_FEATURES",
     "QGramsBlocking",
     "RCNP_FEATURE_SET",
+    "ShardPlanner",
+    "ShardedMutableBlockIndex",
     "StandardBlocking",
     "SuffixArraysBlocking",
     "SupervisedBLAST",

@@ -101,6 +101,11 @@ def _merge_sorted_unique(a: np.ndarray, b: np.ndarray) -> np.ndarray:
     return _dedup_sorted(merged)
 
 
+#: Public alias: the parallel engine folds per-worker key sets into a global
+#: sorted union with the same two-way merge kernel.
+merge_sorted_unique = _merge_sorted_unique
+
+
 def resolve_blocking_backend(backend: str) -> str:
     """Validate a blocking-backend name, returning it unchanged.
 
@@ -310,9 +315,30 @@ def assemble_blocks(
     else:
         index_space = EntityIndexSpace(len(first), len(second))
         name = f"{method.name}({first.name},{second.name})"
-    total = max(index_space.total, 1)
-
     codes, nodes, vocabulary = _dictionary_encode(method, first, second)
+    return assemble_from_codes(
+        codes, nodes, vocabulary, index_space, name, bilateral=second is not None
+    )
+
+
+def assemble_from_codes(
+    codes: np.ndarray,
+    nodes: np.ndarray,
+    vocabulary: List[str],
+    index_space: EntityIndexSpace,
+    name: str,
+    bilateral: bool,
+) -> MembershipMatrix:
+    """Assemble blocks from a dictionary-encoded signature stream.
+
+    ``codes`` index the lexicographically sorted ``vocabulary`` with one
+    entry per signature occurrence (duplicates allowed), ``nodes`` are the
+    matching global node ids.  This is the backend of
+    :func:`assemble_blocks`; the parallel engine calls it directly after
+    merging per-shard token streams, so sharded and single-pass tokenization
+    produce bit-identical matrices.
+    """
+    total = max(index_space.total, 1)
     num_codes = len(vocabulary)
     if codes.size:
         # distinct (code, node) memberships, sorted by code then node
@@ -320,7 +346,7 @@ def assemble_blocks(
         codes = packed // total
         nodes = packed % total
 
-    if second is None:
+    if not bilateral:
         keep_code = np.bincount(codes, minlength=num_codes) >= 2
     else:
         size_first = index_space.size_first
@@ -394,28 +420,23 @@ def filter_matrix(matrix: MembershipMatrix, ratio: float = 0.8) -> MembershipMat
     return _select_blocks(interim, interim.block_cardinalities() > 0, interim.name)
 
 
-def extract_candidate_keys(
-    matrix: MembershipMatrix, chunk_keys: int = DEFAULT_PAIR_CHUNK_KEYS
-) -> np.ndarray:
-    """The distinct candidate pairs as sorted packed ``i * total + j`` keys.
+def pair_expansion_plan(
+    matrix: MembershipMatrix,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Per-membership pair-expansion plan: ``(repeats, right_begin, offsets)``.
 
     Every membership is assigned the pairs it is the *left* endpoint of —
     the cross product with the block's second side for bilateral blocks,
     the strictly-later members of the (sorted) block for intra blocks —
-    giving a per-membership repeat count and a contiguous right-hand slice
-    of the flat ``nodes`` array.  The expansion is then plain
-    ``np.repeat`` + offset arithmetic over membership chunks of at most
-    roughly ``chunk_keys`` pairs, flushed through a sorted-unique pass into
-    a running union: no per-block Python, and peak memory bounded by the
-    chunk size plus the *distinct* pair set — never by the raw
-    (redundancy-bearing) comparison count.
+    giving a per-membership repeat count, the start of its contiguous
+    right-hand slice in the flat ``nodes`` array, and the exclusive prefix
+    sum of the repeats (``offsets``, length ``n_memberships + 1``).  Both the
+    serial extraction below and the sharded extraction of
+    :mod:`repro.parallel.blocking` expand from this plan, which is why any
+    contiguous partitioning of the memberships yields the same pair set.
     """
-    total = np.int64(max(matrix.index_space.total, 1))
     nodes = matrix.nodes
     n_memberships = nodes.size
-    if n_memberships == 0 or matrix.num_blocks == 0:
-        return np.empty(0, dtype=np.int64)
-
     sizes = matrix.block_sizes()
     first = matrix.first_side_sizes()
     second = sizes - first
@@ -440,6 +461,28 @@ def extract_candidate_keys(
 
     pair_offsets = np.zeros(n_memberships + 1, dtype=np.int64)
     np.cumsum(repeats, out=pair_offsets[1:])
+    return repeats, right_begin, pair_offsets
+
+
+def extract_candidate_keys(
+    matrix: MembershipMatrix, chunk_keys: int = DEFAULT_PAIR_CHUNK_KEYS
+) -> np.ndarray:
+    """The distinct candidate pairs as sorted packed ``i * total + j`` keys.
+
+    The expansion follows :func:`pair_expansion_plan` — plain ``np.repeat``
+    + offset arithmetic over membership chunks of at most roughly
+    ``chunk_keys`` pairs, flushed through a sorted-unique pass into a
+    running union: no per-block Python, and peak memory bounded by the
+    chunk size plus the *distinct* pair set — never by the raw
+    (redundancy-bearing) comparison count.
+    """
+    total = np.int64(max(matrix.index_space.total, 1))
+    nodes = matrix.nodes
+    n_memberships = nodes.size
+    if n_memberships == 0 or matrix.num_blocks == 0:
+        return np.empty(0, dtype=np.int64)
+
+    repeats, right_begin, pair_offsets = pair_expansion_plan(matrix)
 
     seen: np.ndarray = np.empty(0, dtype=np.int64)
     start = 0

@@ -91,6 +91,8 @@ def prepare_blocks(
     apply_filtering: bool = True,
     backend: str = "array",
     timer: Optional[StageTimer] = None,
+    workers=1,
+    executor=None,
 ) -> PreparedBlocks:
     """Run the paper's block-preparation pipeline.
 
@@ -113,11 +115,52 @@ def prepare_blocks(
         Optional :class:`StageTimer`; the preparation's total wall-clock is
         added to its ``"block-preparation"`` stage (the per-stage breakdown
         stays on :attr:`PreparedBlocks.timer`).
+    workers:
+        Worker-process count (or ``"auto"``) for the sharded engine of
+        :mod:`repro.parallel`.  The default ``1`` is the exact
+        single-process path and stays the oracle; any other value requires
+        the ``array`` backend and produces bit-identical prepared blocks.
+    executor:
+        Optional live :class:`repro.parallel.ParallelExecutor` to reuse
+        (amortises pool startup and shared-memory publication across
+        stages); when omitted and ``workers > 1``, one is created and
+        closed around the preparation.
     """
     resolve_blocking_backend(backend)
+    from ..parallel.executor import resolve_workers
+
+    worker_count = executor.workers if executor is not None else resolve_workers(workers)
+    if worker_count > 1 and backend != "array":
+        raise ValueError(
+            "workers > 1 requires the 'array' blocking backend; the 'loop' "
+            "backend is the single-process reference oracle"
+        )
     prep_timer = StageTimer()
 
-    if backend == "array":
+    if worker_count > 1:
+        from ..parallel.blocking import prepare_blocks_sharded
+        from ..parallel.executor import ParallelExecutor
+
+        owned = executor is None
+        live_executor = executor if executor is not None else ParallelExecutor(workers)
+        try:
+            result = prepare_blocks_sharded(
+                first,
+                second,
+                live_executor,
+                blocking=blocking,
+                purging_fraction=purging_fraction,
+                filtering_ratio=filtering_ratio,
+                apply_purging=apply_purging,
+                apply_filtering=apply_filtering,
+                timer=prep_timer,
+            )
+        finally:
+            if owned:
+                live_executor.close()
+        raw, purged, filtered = result.raw, result.purged, result.filtered
+        candidates, csr = result.candidates, result.csr
+    elif backend == "array":
         result = prepare_blocks_array(
             first,
             second,

@@ -27,6 +27,17 @@ from .datasets import CLEAN_CLEAN_ORDER
 from .weights import BACKENDS
 
 
+def _workers_argument(value: str):
+    """Validate a ``--workers`` value: a positive integer or ``auto``."""
+    from .parallel import resolve_workers
+
+    try:
+        resolve_workers(value)
+    except ValueError as error:
+        raise argparse.ArgumentTypeError(str(error)) from None
+    return value if value == "auto" else int(value)
+
+
 def _config_from_args(args: argparse.Namespace) -> ex.ExperimentConfig:
     return ex.ExperimentConfig(
         dataset_names=tuple(args.datasets),
@@ -35,6 +46,7 @@ def _config_from_args(args: argparse.Namespace) -> ex.ExperimentConfig:
         seed=args.seed,
         backend=args.backend,
         blocking_backend=args.blocking_backend,
+        workers=args.workers,
     )
 
 
@@ -154,24 +166,41 @@ def _run_quickstart(args: argparse.Namespace) -> str:
     )
     from .utils.timing import StageTimer
 
+    from .parallel import ParallelExecutor, resolve_workers
+
     dataset = load_benchmark(args.datasets[0], seed=args.seed)
     prep_timer = StageTimer()
-    prepared = prepare_blocks(
-        dataset.first, dataset.second, backend=args.blocking_backend, timer=prep_timer
-    )
-    before = evaluate_candidates(prepared.candidates, dataset.ground_truth)
-    pipeline = GeneralizedSupervisedMetaBlocking(
-        pruning="BLAST",
-        training_size=args.training_size,
-        seed=args.seed,
-        backend=args.backend,
-    )
-    result = pipeline.run(
-        prepared.blocks,
-        prepared.candidates,
-        dataset.ground_truth,
-        stats=prepared.statistics(),
-    )
+    workers = resolve_workers(args.workers)
+    # one executor (pool + published shared-memory inputs) serves block
+    # preparation, feature generation and pruning alike
+    executor = ParallelExecutor(workers) if workers > 1 else None
+    try:
+        prepared = prepare_blocks(
+            dataset.first,
+            dataset.second,
+            backend=args.blocking_backend,
+            timer=prep_timer,
+            workers=workers,
+            executor=executor,
+        )
+        before = evaluate_candidates(prepared.candidates, dataset.ground_truth)
+        pipeline = GeneralizedSupervisedMetaBlocking(
+            pruning="BLAST",
+            training_size=args.training_size,
+            seed=args.seed,
+            backend=args.backend,
+            workers=workers,
+        )
+        result = pipeline.run(
+            prepared.blocks,
+            prepared.candidates,
+            dataset.ground_truth,
+            stats=prepared.statistics(),
+            executor=executor,
+        )
+    finally:
+        if executor is not None:
+            executor.close()
     after = evaluate_result(result, dataset.ground_truth)
     stages = prep_timer.merge(result.timer)
     stage_text = " ".join(
@@ -311,6 +340,15 @@ def build_parser() -> argparse.ArgumentParser:
             help="block-preparation backend: 'array' (vectorized, default) "
             "or 'loop' (the object-based reference oracle)",
         )
+        sub.add_argument(
+            "--workers",
+            type=_workers_argument,
+            default=1,
+            help="worker processes for the sharded execution engine "
+            "(repro.parallel): a positive integer or 'auto' "
+            "(cpu_count - 1); 1 (the default) is the exact single-process "
+            "path, and every worker count produces identical results",
+        )
 
     run_parser = subparsers.add_parser("run", help="regenerate one table/figure")
     run_parser.add_argument("experiment", choices=sorted(EXPERIMENTS))
@@ -387,6 +425,20 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
+
+    from .parallel import resolve_workers
+
+    if getattr(args, "workers", 1) and resolve_workers(getattr(args, "workers", 1)) > 1:
+        if getattr(args, "backend", "sparse") == "loop":
+            parser.error(
+                "--workers above 1 requires the 'sparse' feature backend; "
+                "'loop' is the single-process reference oracle"
+            )
+        if getattr(args, "blocking_backend", "array") == "loop":
+            parser.error(
+                "--workers above 1 requires the 'array' blocking backend; "
+                "'loop' is the single-process reference oracle"
+            )
 
     if args.command == "list":
         print("Available experiments:")

@@ -79,18 +79,32 @@ class FeatureVectorGenerator:
         ``"loop"`` (per-pair reference implementation, the default) or
         ``"sparse"`` (vectorized batched implementation, see
         :mod:`repro.weights.sparse`).  Both produce identical matrices.
+    workers:
+        Worker-process count (or ``"auto"``) for the sharded co-occurrence
+        pass of :mod:`repro.parallel.features`.  Requires the ``sparse``
+        backend when above 1; the default ``1`` is the exact single-process
+        path, and every worker count produces bit-identical matrices.
     """
 
     def __init__(
         self,
         feature_set: Sequence[str] = ORIGINAL_FEATURE_SET,
         backend: str = "loop",
+        workers=1,
     ) -> None:
         names = tuple(feature_set)
         if not names:
             raise ValueError("feature_set must contain at least one scheme")
         self.feature_set = names
         self.backend = resolve_backend(backend)
+        from ..parallel.executor import resolve_workers
+
+        self.workers = resolve_workers(workers)
+        if self.workers > 1 and self.backend != "sparse":
+            raise ValueError(
+                "workers > 1 requires the 'sparse' feature backend; the "
+                "'loop' backend is the single-process reference oracle"
+            )
         self._schemes = get_schemes(names)
 
     @property
@@ -114,6 +128,7 @@ class FeatureVectorGenerator:
         candidates: CandidateSet,
         stats: BlockStatistics,
         timer: Optional[StageTimer] = None,
+        executor=None,
     ) -> FeatureMatrix:
         """Compute the feature matrix for ``candidates``.
 
@@ -126,10 +141,30 @@ class FeatureVectorGenerator:
         timer:
             Optional :class:`StageTimer`; feature-generation time is added to
             its ``"features"`` stage.
+        executor:
+            Optional live :class:`repro.parallel.ParallelExecutor` to reuse
+            when ``workers > 1`` (one is created and closed around the
+            generation otherwise).
         """
         columns: List[np.ndarray] = []
         scheme_seconds: Dict[str, float] = {}
         local_timer = StageTimer()
+        workers = executor.workers if executor is not None else self.workers
+        if workers > 1 and isinstance(stats, BlockStatistics):
+            # compute the expensive ingredients (co-occurrence pass, LCP)
+            # across workers and seed the statistics caches; the schemes
+            # below then run unchanged on the cached aggregates
+            from ..parallel.executor import ParallelExecutor
+            from ..parallel.features import prefill_feature_caches
+
+            with local_timer.stage("parallel-precompute"):
+                owned = executor is None
+                live = executor if executor is not None else ParallelExecutor(workers)
+                try:
+                    prefill_feature_caches(stats, candidates, self.feature_set, live)
+                finally:
+                    if owned:
+                        live.close()
         for scheme in self._schemes:
             with local_timer.stage(scheme.name):
                 columns.append(
@@ -159,8 +194,15 @@ def generate_features(
     stats: Optional[BlockStatistics] = None,
     timer: Optional[StageTimer] = None,
     backend: str = "loop",
+    workers=1,
+    executor=None,
 ) -> FeatureMatrix:
-    """Convenience wrapper: build statistics (if needed) and the feature matrix."""
+    """Convenience wrapper: build statistics (if needed) and the feature matrix.
+
+    ``workers``/``executor`` enable the sharded co-occurrence pass of
+    :mod:`repro.parallel.features` (sparse backend only); the matrix is
+    bit-identical for every worker count.
+    """
     statistics = stats if stats is not None else BlockStatistics(blocks)
-    generator = FeatureVectorGenerator(feature_set, backend=backend)
-    return generator.generate(candidates, statistics, timer=timer)
+    generator = FeatureVectorGenerator(feature_set, backend=backend, workers=workers)
+    return generator.generate(candidates, statistics, timer=timer, executor=executor)

@@ -100,6 +100,13 @@ class GeneralizedSupervisedMetaBlocking:
         Feature-generation backend, ``"sparse"`` (vectorized, the default)
         or ``"loop"`` (the per-pair reference oracle); see
         :mod:`repro.weights.sparse`.
+    workers:
+        Worker-process count (or ``"auto"``) for the sharded execution
+        engine of :mod:`repro.parallel`: feature generation's co-occurrence
+        pass and the cardinality/BLAST pruning selections run across worker
+        processes, bit-identically to the ``workers=1`` single-process path
+        (the oracle).  Training and scoring always run in the parent — the
+        single RNG entrypoint never leaves it (see :mod:`repro.utils.rng`).
     """
 
     def __init__(
@@ -113,8 +120,14 @@ class GeneralizedSupervisedMetaBlocking:
         positive_fraction: float = 0.05,
         seed: SeedLike = 0,
         backend: str = "sparse",
+        workers=1,
     ) -> None:
-        self.feature_generator = FeatureVectorGenerator(feature_set, backend=backend)
+        from ..parallel.executor import resolve_workers
+
+        self.workers = resolve_workers(workers)
+        self.feature_generator = FeatureVectorGenerator(
+            feature_set, backend=backend, workers=self.workers
+        )
         self.pruning = (
             get_pruning_algorithm(pruning) if isinstance(pruning, str) else pruning
         )
@@ -145,6 +158,7 @@ class GeneralizedSupervisedMetaBlocking:
         feature_matrix: Optional[FeatureMatrix] = None,
         seed: SeedLike = None,
         keep_features: bool = False,
+        executor=None,
     ) -> MetaBlockingResult:
         """Run the pipeline on a prepared block collection.
 
@@ -162,13 +176,51 @@ class GeneralizedSupervisedMetaBlocking:
             Per-run sampling seed (falls back to the pipeline seed).
         keep_features:
             Attach the full feature matrix to the result.
+        executor:
+            Optional live :class:`repro.parallel.ParallelExecutor` shared
+            with block preparation; when omitted and ``workers > 1``, one
+            is created for the run and closed afterwards.
         """
         timer = StageTimer()
         statistics = stats if stats is not None else BlockStatistics(blocks)
 
+        workers = executor.workers if executor is not None else self.workers
+        owned_executor = None
+        if workers > 1 and executor is None:
+            from ..parallel.executor import ParallelExecutor
+
+            executor = owned_executor = ParallelExecutor(workers)
+        try:
+            return self._run_stages(
+                blocks,
+                candidates,
+                ground_truth,
+                statistics,
+                feature_matrix,
+                seed,
+                keep_features,
+                timer,
+                executor,
+            )
+        finally:
+            if owned_executor is not None:
+                owned_executor.close()
+
+    def _run_stages(
+        self,
+        blocks,
+        candidates,
+        ground_truth,
+        statistics,
+        feature_matrix,
+        seed,
+        keep_features,
+        timer,
+        executor,
+    ) -> MetaBlockingResult:
         if feature_matrix is None:
             feature_matrix = self.feature_generator.generate(
-                candidates, statistics, timer=timer
+                candidates, statistics, timer=timer, executor=executor
             )
         elif feature_matrix.n_pairs != len(candidates):
             raise ValueError("precomputed feature matrix does not match the candidates")
@@ -203,7 +255,14 @@ class GeneralizedSupervisedMetaBlocking:
             probabilities = classifier.predict_proba(scored_features)
 
         with timer.stage("pruning"):
-            retained_mask = self.pruning.prune(probabilities, candidates, blocks)
+            if executor is not None and executor.workers > 1:
+                from ..parallel.pruning import parallel_prune
+
+                retained_mask = parallel_prune(
+                    self.pruning, probabilities, candidates, blocks, executor
+                )
+            else:
+                retained_mask = self.pruning.prune(probabilities, candidates, blocks)
 
         retained = candidates.subset(retained_mask)
         return MetaBlockingResult(
@@ -236,15 +295,35 @@ class GeneralizedSupervisedMetaBlocking:
         preparation's wall-clock is recorded as the ``"block-preparation"``
         stage of the result's timer — so RT no longer silently starts at
         feature generation.
+
+        With ``workers > 1`` a single :class:`~repro.parallel.ParallelExecutor`
+        is shared by block preparation, feature generation and pruning, so
+        the pool and the published shared-memory inputs are paid for once.
         """
-        prepared: PreparedBlocks = prepare_blocks(first, second, **prepare_kwargs)
-        result = self.run(
-            prepared.blocks,
-            prepared.candidates,
-            ground_truth,
-            stats=prepared.statistics(),
-            seed=seed,
-        )
+        from ..parallel.executor import ParallelExecutor, resolve_workers
+
+        # an explicit workers/executor kwarg for the preparation wins over
+        # the pipeline's own knob (e.g. workers=1 forces single-process
+        # preparation regardless of the pipeline's worker count)
+        prepare_workers = resolve_workers(prepare_kwargs.get("workers", self.workers))
+        owned_executor = None
+        if prepare_workers > 1 and "executor" not in prepare_kwargs:
+            prepare_kwargs.setdefault("workers", prepare_workers)
+            owned_executor = ParallelExecutor(prepare_workers)
+            prepare_kwargs["executor"] = owned_executor
+        try:
+            prepared: PreparedBlocks = prepare_blocks(first, second, **prepare_kwargs)
+            result = self.run(
+                prepared.blocks,
+                prepared.candidates,
+                ground_truth,
+                stats=prepared.statistics(),
+                seed=seed,
+                executor=prepare_kwargs.get("executor"),
+            )
+        finally:
+            if owned_executor is not None:
+                owned_executor.close()
         if prepared.timer is not None:
             result.timer.add("block-preparation", prepared.timer.total)
         return result

@@ -59,6 +59,10 @@ class ExperimentConfig:
         Block-preparation backend, ``"array"`` (vectorized, the default) or
         ``"loop"`` (the object-based reference oracle); see
         :mod:`repro.blocking.arrayops`.
+    workers:
+        Worker-process count (or ``"auto"``) for the sharded execution
+        engine of :mod:`repro.parallel`; ``1`` (the default) is the exact
+        single-process path and stays the oracle.
     """
 
     dataset_names: Sequence[str] = field(
@@ -71,6 +75,7 @@ class ExperimentConfig:
     classifier: str = "logistic"
     backend: str = "sparse"
     blocking_backend: str = "array"
+    workers: object = 1
 
     def classifier_factory(self) -> Callable:
         """Return the classifier factory matching the configuration."""
@@ -98,10 +103,13 @@ def prepare_benchmark_dataset(
     seed: SeedLike = 0,
     scale: Optional[float] = None,
     blocking_backend: str = "array",
+    workers=1,
 ) -> PreparedDataset:
     """Generate one Clean-Clean benchmark and run the blocking pipeline on it."""
     dataset = load_benchmark(name, seed=seed, scale=scale)
-    prepared = prepare_blocks(dataset.first, dataset.second, backend=blocking_backend)
+    prepared = prepare_blocks(
+        dataset.first, dataset.second, backend=blocking_backend, workers=workers
+    )
     return PreparedDataset(
         name=name,
         blocks=prepared.blocks,
@@ -119,6 +127,7 @@ def prepare_benchmark_datasets(config: ExperimentConfig) -> List[PreparedDataset
             seed=config.seed,
             scale=config.scale,
             blocking_backend=config.blocking_backend,
+            workers=config.workers,
         )
         for name in config.dataset_names
     ]
@@ -129,10 +138,13 @@ def prepare_dirty_dataset(
     seed: SeedLike = 0,
     scale: Optional[float] = None,
     blocking_backend: str = "array",
+    workers=1,
 ) -> PreparedDataset:
     """Generate one Dirty ER dataset and run Token Blocking + cleaning on it."""
     dataset = load_dirty_dataset(name, seed=seed, scale=scale)
-    prepared = prepare_blocks(dataset.collection, None, backend=blocking_backend)
+    prepared = prepare_blocks(
+        dataset.collection, None, backend=blocking_backend, workers=workers
+    )
     return PreparedDataset(
         name=name,
         blocks=prepared.blocks,
@@ -168,6 +180,7 @@ def blast_pipeline(config: ExperimentConfig, training_size: Optional[int] = None
         classifier_factory=config.classifier_factory(),
         seed=config.seed,
         backend=config.backend,
+        workers=config.workers,
     )
 
 
@@ -180,6 +193,7 @@ def rcnp_pipeline(config: ExperimentConfig, training_size: Optional[int] = None)
         classifier_factory=config.classifier_factory(),
         seed=config.seed,
         backend=config.backend,
+        workers=config.workers,
     )
 
 
@@ -198,6 +212,7 @@ def bcl_pipeline(
         classifier_factory=config.classifier_factory(),
         seed=config.seed,
         backend=config.backend,
+        workers=config.workers,
     )
 
 
@@ -216,6 +231,7 @@ def cnp_pipeline(
         classifier_factory=config.classifier_factory(),
         seed=config.seed,
         backend=config.backend,
+        workers=config.workers,
     )
 
 
@@ -233,4 +249,5 @@ def algorithm_pipeline(
         classifier_factory=config.classifier_factory(),
         seed=config.seed,
         backend=config.backend,
+        workers=config.workers,
     )

@@ -31,6 +31,7 @@ from .index import (
     UnknownEntityError,
     UpdateDelta,
 )
+from .sharded import ShardedMutableBlockIndex, ShardedStatistics
 from .session import (
     BulkInsertResult,
     FrozenModel,
@@ -72,6 +73,8 @@ __all__ = [
     "RemovalResult",
     "RetractionDelta",
     "SessionResult",
+    "ShardedMutableBlockIndex",
+    "ShardedStatistics",
     "UnknownEntityError",
     "UpdateDelta",
     "UpdateResult",

@@ -340,6 +340,26 @@ class IncrementalStatistics:
         )
 
 
+class _StoredSignatures(BlockingMethod):
+    """Serves precomputed signature lists during a :meth:`compact` rebuild.
+
+    The index stores signatures (block keys) rather than profiles, so the
+    rebuild replays them directly instead of re-tokenizing; profile order
+    must match the stored list order.
+    """
+
+    name = "stored-signatures"
+
+    def __init__(self, signature_lists: Sequence[List[str]]) -> None:
+        self._signature_lists = signature_lists
+
+    def signatures_of(self, profile: EntityProfile):  # pragma: no cover
+        raise NotImplementedError("compact() rebuilds through signature_lists")
+
+    def signature_lists(self, collection) -> List[List[str]]:
+        return list(self._signature_lists)
+
+
 class MutableBlockIndex:
     """A token/block inverted index supporting online insertion, removal,
     in-place update and bulk loading.
@@ -1205,6 +1225,60 @@ class MutableBlockIndex:
         )
         self._store_block_state(block_id, new_size, new_cardinality)
         return counterparts
+
+    # -- compaction ------------------------------------------------------------
+    def compact(self) -> None:
+        """Rebuild the index without tombstoned slots and retracted positions.
+
+        Long-lived high-churn sessions grow monotonically: removed entities
+        leave dead node slots (zeroed aggregate entries, orphaned CSR rows)
+        and retracted pairs keep their registry positions.  ``compact()``
+        rebuilds the index from its *live* entities — replaying their stored
+        signatures through :meth:`add_entities_bulk`, one bulk load per side
+        in arrival order — and adopts the rebuilt state in place:
+
+        * every per-node array shrinks to the live entity count
+          (``num_slots == num_entities``);
+        * the pair registry holds exactly the live pairs
+          (``num_registered_pairs == num_pairs``);
+        * blocks whose members were all removed are dropped.
+
+        The *canonical* view is unchanged: live entities keep their arrival
+        order per side, so :meth:`canonical_node_ids`,
+        :meth:`canonical_candidates` and :meth:`snapshot_blocks` — and with
+        them the exact batch-equivalent finalisation — produce identical
+        results before and after.  Raw node ids and registry positions are
+        reassigned, which invalidates outstanding
+        :class:`InsertDelta`/:class:`RetractionDelta` references; compact
+        between mutation bursts, not between a mutation and the use of its
+        delta.
+        """
+        fresh = MutableBlockIndex(
+            blocking=self.blocking, bilateral=self.bilateral, name=self.name
+        )
+        sides = self._sides.view()
+        indptr = self._indptr.view()
+        indices = self._indices.view()
+        block_keys = self._block_keys
+        for side in (0, 1) if self.bilateral else (0,):
+            live = np.flatnonzero(sides == side)
+            if live.size == 0:
+                continue
+            profiles = [
+                EntityProfile(entity_id=self._entity_ids[int(node)])
+                for node in live
+            ]
+            signature_lists = [
+                [
+                    block_keys[int(block)]
+                    for block in indices[indptr[node] : indptr[node + 1]]
+                ]
+                for node in live.tolist()
+            ]
+            fresh.blocking = _StoredSignatures(signature_lists)
+            fresh.add_entities_bulk(profiles, side=side)
+        fresh.blocking = self.blocking
+        self.__dict__.update(fresh.__dict__)
 
     # -- read-side structures --------------------------------------------------
     def csr(self) -> EntityBlockCSR:

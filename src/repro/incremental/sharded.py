@@ -1,0 +1,450 @@
+"""Signature-sharded streaming index for parallel ingest.
+
+:class:`ShardedMutableBlockIndex` splits the inverted index of
+:class:`~repro.incremental.MutableBlockIndex` across K shards by *signature*
+(token): shard ``k`` owns every block whose key hashes to ``k``
+(:func:`repro.parallel.shard_of_signature`), so the shards' block sets are
+disjoint and their mutations are independent — the routing layer the
+ROADMAP's "sharded MutableBlockIndex for parallel ingest" asks for.
+
+Every mutation is routed to **all** shards with the entity's signatures
+filtered per shard (a shard whose filter yields no signature still registers
+the entity with an empty row).  That choice is what makes the shards
+mergeable by construction:
+
+* every shard sees every entity in the same order, so node ids — and the
+  canonical batch numbering — are **identical across shards**;
+* per-entity aggregates are sums of disjoint per-shard block contributions;
+* the global candidate-pair set is the packed-key union of the per-shard
+  pair sets (a pair co-occurring under tokens of two shards appears in
+  both and is deduplicated by the merge);
+* the entity x block CSR is the row-wise concatenation of the shard CSRs
+  with shard-major block-id offsets.
+
+Tokenization — the CPU-heavy Python part of ingest — is performed once per
+mutation by the router (never K times) and, for bulk loads, can be fanned
+out over a :class:`repro.parallel.ParallelExecutor`; the per-shard index
+updates are independent by construction and ready to be dispatched to
+shard-affine workers.
+
+:meth:`ShardedMutableBlockIndex.statistics` exposes the same duck-typed
+statistics contract as :class:`~repro.incremental.IncrementalStatistics`,
+and :meth:`candidate_set`/:meth:`canonical_candidates`/:meth:`snapshot_blocks`
+mirror the unsharded index — the equivalence tests assert a sharded index
+fed any interleaving of add/remove/update/bulk matches the unsharded one.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..blocking.base import BlockingMethod
+from ..blocking.token_blocking import TokenBlocking
+from ..datamodel import BlockCollection, CandidateSet, EntityIndexSpace, EntityProfile
+from ..weights.sparse import (
+    EntityBlockCSR,
+    PairCooccurrence,
+    PairCooccurrenceCache,
+    compute_pair_cooccurrence,
+    entity_block_csr_from_memberships,
+)
+from .index import MutableBlockIndex, pack_pair_keys
+
+
+class _RoutedSignatures(BlockingMethod):
+    """Serves shard-filtered signatures staged by the sharded router.
+
+    Each shard's :class:`MutableBlockIndex` tokenizes through this object;
+    the router tokenizes the input once, filters per shard, and stages the
+    result immediately before forwarding the mutation — so K shards never
+    re-tokenize the same profile K times.
+    """
+
+    name = "routed-signatures"
+
+    def __init__(self) -> None:
+        self._staged_set = None
+        self._staged_lists = None
+
+    def stage_set(self, signatures) -> None:
+        self._staged_set = signatures
+
+    def stage_lists(self, signature_lists) -> None:
+        self._staged_lists = signature_lists
+
+    def signatures_of(self, profile: EntityProfile):
+        staged, self._staged_set = self._staged_set, None
+        if staged is None:
+            raise RuntimeError("no signatures staged for this shard mutation")
+        return staged
+
+    def signature_lists(self, collection):
+        staged, self._staged_lists = self._staged_lists, None
+        if staged is None:
+            raise RuntimeError("no signature lists staged for this shard mutation")
+        return staged
+
+
+class ShardedStatistics:
+    """Merged read-only statistics over the shards (duck-types
+    :class:`~repro.incremental.IncrementalStatistics`).
+
+    Aggregates are merged on construction; obtain a fresh view per feature
+    computation, as with the unsharded index.
+    """
+
+    def __init__(self, index: "ShardedMutableBlockIndex") -> None:
+        self._index = index
+        self._pair_cache = PairCooccurrenceCache()
+        shards = index.shards
+        num_slots = index.num_slots
+
+        self.num_blocks = sum(shard.num_nonempty_blocks for shard in shards)
+        self.total_cardinality = float(
+            sum(shard.total_cardinality for shard in shards)
+        )
+
+        def summed(attribute: str) -> np.ndarray:
+            total = np.zeros(num_slots, dtype=np.float64)
+            for shard in shards:
+                total += getattr(shard, attribute).view()
+            return total
+
+        self.blocks_per_entity = summed("_blocks_per_entity")
+        self.entity_cardinality = summed("_entity_cardinality")
+        self.entity_inv_cardinality = summed("_entity_inv_cardinality")
+        self.entity_inv_size = summed("_entity_inv_size")
+        self._degrees: Optional[np.ndarray] = None
+        self._merged: Optional[Tuple[EntityBlockCSR, np.ndarray, np.ndarray]] = None
+
+    def local_candidate_counts_sparse(self) -> np.ndarray:
+        """LCP per node slot — distinct live candidates, from the merged pairs.
+
+        Per-shard degrees cannot be summed (a pair co-occurring under two
+        shards' tokens would count twice); the merged distinct pair set
+        gives the exact global degree.
+        """
+        if self._degrees is None:
+            left, right = self._index._merged_pairs()
+            degrees = np.zeros(self._index.num_slots, dtype=np.float64)
+            if left.size:
+                degrees += np.bincount(left, minlength=degrees.size)
+                degrees += np.bincount(right, minlength=degrees.size)
+            self._degrees = degrees
+        return self._degrees
+
+    # The loop-backend schemes call the non-sparse name; serve the same array.
+    local_candidate_counts = local_candidate_counts_sparse
+
+    def pair_cooccurrence(self, candidates: CandidateSet) -> PairCooccurrence:
+        """Batched co-occurrence aggregates over the merged shard CSR."""
+        if self._merged is None:
+            self._merged = self._index._merged_csr()
+        csr, inverse_cardinalities, inverse_sizes = self._merged
+        return self._pair_cache.get(
+            candidates,
+            lambda: compute_pair_cooccurrence(
+                csr,
+                inverse_cardinalities,
+                inverse_sizes,
+                candidates.left,
+                candidates.right,
+            ),
+        )
+
+
+class ShardedMutableBlockIndex:
+    """K signature-sharded :class:`MutableBlockIndex` instances behind the
+    unsharded aggregate/equivalence contract.
+
+    Parameters
+    ----------
+    blocking:
+        The signature extractor (default :class:`TokenBlocking`); the router
+        tokenizes with it once per mutation.
+    bilateral:
+        Clean-Clean (``True``) vs Dirty ER (``False``) stream shape.
+    num_shards:
+        Number of signature shards (usually the intended worker count).
+    name:
+        Label used in snapshots and reports.
+    executor:
+        Optional :class:`repro.parallel.ParallelExecutor`; bulk-load
+        tokenization is fanned out over it.
+    """
+
+    def __init__(
+        self,
+        blocking: Optional[BlockingMethod] = None,
+        bilateral: bool = False,
+        num_shards: int = 2,
+        name: str = "sharded-stream",
+        executor=None,
+    ) -> None:
+        if num_shards < 1:
+            raise ValueError("num_shards must be at least 1")
+        self.blocking = blocking if blocking is not None else TokenBlocking()
+        self.bilateral = bilateral
+        self.num_shards = num_shards
+        self.name = name
+        self.executor = executor
+        self._routers = [_RoutedSignatures() for _ in range(num_shards)]
+        self.shards: List[MutableBlockIndex] = [
+            MutableBlockIndex(
+                blocking=router, bilateral=bilateral, name=f"{name}#{shard}"
+            )
+            for shard, router in enumerate(self._routers)
+        ]
+        # merged-pair cache, invalidated by every mutation (the merge is an
+        # O(P log P) union across shards — too costly per num_pairs read)
+        self._mutations = 0
+        self._pairs_cache: Optional[Tuple[int, np.ndarray, np.ndarray]] = None
+
+    # -- routing helpers ---------------------------------------------------------
+    def _split_signatures(self, signatures) -> List[List[str]]:
+        from ..parallel.planner import shard_of_signature
+
+        split: List[List[str]] = [[] for _ in range(self.num_shards)]
+        for signature in signatures:
+            split[shard_of_signature(signature, self.num_shards)].append(signature)
+        return split
+
+    def _tokenize_bulk(self, profiles: Sequence[EntityProfile]) -> List[List[str]]:
+        if self.executor is not None and self.executor.workers > 1 and len(profiles) > 1:
+            from ..parallel.executor import split_ranges
+            from ..parallel.worker import signature_lists_chunk
+
+            chunks = self.executor.starmap(
+                signature_lists_chunk,
+                [
+                    (tuple(profiles[start:stop]), self.blocking)
+                    for start, stop in split_ranges(
+                        len(profiles), self.executor.workers
+                    )
+                ],
+            )
+            return [lists for chunk in chunks for lists in chunk]
+        return self.blocking.signature_lists(_ProfileView(profiles))
+
+    # -- mutations ---------------------------------------------------------------
+    def add_entity(self, profile: EntityProfile, side: int = 0):
+        """Insert one entity into every shard; returns the per-shard deltas."""
+        self._mutations += 1
+        split = self._split_signatures(self.blocking.signatures_of(profile))
+        deltas = []
+        for router, shard, signatures in zip(self._routers, self.shards, split):
+            router.stage_set(set(signatures))
+            deltas.append(shard.add_entity(profile, side=side))
+        return deltas
+
+    def add_entities(self, profiles, side: int = 0):
+        """Insert several entities one at a time (per-shard delta lists)."""
+        return [self.add_entity(profile, side=side) for profile in profiles]
+
+    def add_entities_bulk(self, profiles: Sequence[EntityProfile], side: int = 0):
+        """One-pass bulk load: tokenize once (optionally across workers),
+        then one per-shard bulk insert each; returns the per-shard deltas."""
+        profiles = list(profiles)
+        self._mutations += 1
+        signature_lists = self._tokenize_bulk(profiles)
+        per_shard: List[List[List[str]]] = [
+            [None] * len(profiles) for _ in range(self.num_shards)
+        ]
+        for position, signatures in enumerate(signature_lists):
+            split = self._split_signatures(signatures)
+            for shard in range(self.num_shards):
+                per_shard[shard][position] = split[shard]
+        deltas = []
+        for router, shard_index, lists in zip(self._routers, self.shards, per_shard):
+            router.stage_lists(lists)
+            deltas.append(shard_index.add_entities_bulk(profiles, side=side))
+        return deltas
+
+    def remove_entity(self, entity_id: str, side: int = 0):
+        """Retract one entity from every shard; returns the per-shard deltas."""
+        self._mutations += 1
+        return [shard.remove_entity(entity_id, side=side) for shard in self.shards]
+
+    def update_entity(self, profile: EntityProfile, side: int = 0):
+        """Correct one entity in place in every shard (retract + re-insert)."""
+        self._mutations += 1
+        split = self._split_signatures(self.blocking.signatures_of(profile))
+        deltas = []
+        for router, shard, signatures in zip(self._routers, self.shards, split):
+            router.stage_set(set(signatures))
+            deltas.append(shard.update_entity(profile, side=side))
+        return deltas
+
+    def compact(self) -> None:
+        """Compact every shard (see :meth:`MutableBlockIndex.compact`).
+
+        Shards rebuild their live entities in the same arrival order, so
+        node ids stay aligned across shards and the canonical view is
+        unchanged.
+        """
+        self._mutations += 1  # raw node ids are renumbered — drop the cache
+        for shard in self.shards:
+            shard.compact()
+
+    # -- aggregate contract ------------------------------------------------------
+    @property
+    def num_entities(self) -> int:
+        """Number of live entities (identical in every shard)."""
+        return self.shards[0].num_entities
+
+    @property
+    def num_slots(self) -> int:
+        """Number of node ids ever assigned (identical in every shard)."""
+        return self.shards[0].num_slots
+
+    @property
+    def num_blocks(self) -> int:
+        """Total number of blocks across the shards (disjoint by token)."""
+        return sum(shard.num_blocks for shard in self.shards)
+
+    @property
+    def num_pairs(self) -> int:
+        """Number of live distinct candidate pairs across the shards."""
+        return int(self._merged_pairs()[0].size)
+
+    def __len__(self) -> int:
+        return self.num_entities
+
+    def entity_id(self, node: int) -> str:
+        """The identifier of the entity holding node id ``node``."""
+        return self.shards[0].entity_id(node)
+
+    def side_of(self, node: int) -> int:
+        """0/1 for live nodes, -1 for tombstoned slots."""
+        return self.shards[0].side_of(node)
+
+    def is_live(self, node: int) -> bool:
+        """Whether the node slot currently holds a live entity."""
+        return self.shards[0].is_live(node)
+
+    def has_entity(self, entity_id: str, side: int = 0) -> bool:
+        """Whether ``entity_id`` is currently live on ``side``."""
+        return self.shards[0].has_entity(entity_id, side=side)
+
+    def node_of(self, entity_id: str, side: int = 0) -> int:
+        """The node id of a live entity (identical in every shard)."""
+        return self.shards[0].node_of(entity_id, side=side)
+
+    def index_space(self) -> EntityIndexSpace:
+        """An index space sized to the live per-side totals."""
+        return self.shards[0].index_space()
+
+    def canonical_node_ids(self) -> np.ndarray:
+        """Compact batch node id per slot (identical in every shard)."""
+        return self.shards[0].canonical_node_ids()
+
+    # -- merged read-side structures ---------------------------------------------
+    def _merged_pairs(self) -> Tuple[np.ndarray, np.ndarray]:
+        """The distinct live pairs across shards, sorted by packed key.
+
+        Cached per mutation epoch: repeated reads (``num_pairs`` polling,
+        statistics, candidate sets) between mutations pay the cross-shard
+        union once.
+        """
+        if self._pairs_cache is not None and self._pairs_cache[0] == self._mutations:
+            return self._pairs_cache[1], self._pairs_cache[2]
+        parts = []
+        for shard in self.shards:
+            alive = shard._pair_alive.view()
+            parts.append(
+                pack_pair_keys(
+                    shard._pair_left.view()[alive], shard._pair_right.view()[alive]
+                )
+            )
+        if parts:
+            keys = np.unique(np.concatenate(parts))
+            left, right = keys >> np.int64(32), keys & np.int64((1 << 32) - 1)
+        else:
+            left = np.empty(0, dtype=np.int64)
+            right = np.empty(0, dtype=np.int64)
+        self._pairs_cache = (self._mutations, left, right)
+        return left, right
+
+    def candidate_set(self) -> CandidateSet:
+        """All live distinct candidate pairs, sorted by packed pair key."""
+        left, right = self._merged_pairs()
+        return CandidateSet(left, right, self.index_space())
+
+    def canonical_candidates(self, candidates: CandidateSet) -> CandidateSet:
+        """Renumber a live candidate set into the compact batch node space."""
+        return self.shards[0].canonical_candidates(candidates)
+
+    def _merged_csr(self) -> Tuple[EntityBlockCSR, np.ndarray, np.ndarray]:
+        """Row-wise concatenation of the shard CSRs with block-id offsets.
+
+        Returns the merged entity x block CSR plus the concatenated
+        per-block inverse weight vectors, aligned with the offset block ids.
+        """
+        num_slots = self.num_slots
+        node_parts: List[np.ndarray] = []
+        block_parts: List[np.ndarray] = []
+        inv_cardinality_parts: List[np.ndarray] = []
+        inv_size_parts: List[np.ndarray] = []
+        offset = 0
+        for shard in self.shards:
+            csr = shard.csr()
+            counts = np.diff(csr.indptr)
+            node_parts.append(
+                np.repeat(np.arange(counts.size, dtype=np.int64), counts)
+            )
+            block_parts.append(csr.indices + offset)
+            inv_cardinality_parts.append(shard._inverse_block_cardinalities.view())
+            inv_size_parts.append(shard._inverse_block_sizes.view())
+            offset += csr.num_blocks
+        merged = entity_block_csr_from_memberships(
+            np.concatenate(node_parts) if node_parts else np.empty(0, dtype=np.int64),
+            np.concatenate(block_parts) if block_parts else np.empty(0, dtype=np.int64),
+            num_slots,
+            offset,
+            assume_unique=True,
+        )
+        inverse_cardinalities = (
+            np.concatenate(inv_cardinality_parts)
+            if inv_cardinality_parts
+            else np.empty(0, dtype=np.float64)
+        )
+        inverse_sizes = (
+            np.concatenate(inv_size_parts)
+            if inv_size_parts
+            else np.empty(0, dtype=np.float64)
+        )
+        return merged, inverse_cardinalities, inverse_sizes
+
+    def csr(self) -> EntityBlockCSR:
+        """The merged entity x block incidence structure."""
+        return self._merged_csr()[0]
+
+    def statistics(self) -> ShardedStatistics:
+        """A fresh merged statistics view over the shards' current state."""
+        return ShardedStatistics(self)
+
+    def snapshot_blocks(self) -> BlockCollection:
+        """All comparison-spawning blocks across the shards, canonical ids.
+
+        Block order is shard-major (then per-shard insertion order), which
+        differs from the unsharded index's global insertion order; no
+        downstream consumer depends on block order.
+        """
+        collections = [shard.snapshot_blocks() for shard in self.shards]
+        blocks = [block for collection in collections for block in collection]
+        return BlockCollection(blocks, self.index_space(), name=self.name)
+
+
+class _ProfileView:
+    """Minimal iterable view over a profile list for ``signature_lists``."""
+
+    def __init__(self, profiles: Sequence[EntityProfile]) -> None:
+        self._profiles = profiles
+
+    def __iter__(self):
+        return iter(self._profiles)
+
+    def __len__(self) -> int:
+        return len(self._profiles)

@@ -1,0 +1,69 @@
+"""Sharded multiprocess execution engine.
+
+The batch pipeline and the streaming index are single-process by default;
+this subsystem shards their hot stages across worker processes behind the
+``workers`` knob (``prepare_blocks``, ``generate_features``, the pipeline,
+``ExperimentConfig.workers``, CLI ``--workers``):
+
+* :class:`ShardPlanner` — stable hash-partitioning of entity profiles (and
+  signatures) into K shards with global node ids;
+* :class:`ParallelExecutor` — the worker pool plus its registry of
+  ``multiprocessing.shared_memory``-backed NumPy inputs and outputs
+  (CSR buffers are shared read-only with workers; per-pair aggregates are
+  written into shared buffers at disjoint offsets — nothing per-pair ever
+  crosses a process boundary through pickle);
+* :mod:`repro.parallel.blocking` — sharded tokenization/assembly and
+  candidate extraction, merged with packed-key sorted merges;
+* :mod:`repro.parallel.features` — the pair co-occurrence pass and LCP over
+  candidate-row / block ranges, reusing the :mod:`repro.weights.sparse`
+  kernels unchanged;
+* :mod:`repro.parallel.pruning` — sharded CEP/CNP/RCNP selection and BLAST
+  maxima.
+
+``workers=1`` is the exact single-process path and stays the oracle: every
+parallel stage is constructed to be *bit-identical* to it for any worker
+count (set unions, strict-total-order selections, per-pair-local
+aggregation), and the equivalence suite in ``tests/parallel/`` asserts it
+for blocks, candidate sets, all feature schemes and all pruning algorithms.
+"""
+
+from .blocking import (
+    assemble_blocks_sharded,
+    extract_candidate_keys_sharded,
+    prepare_blocks_sharded,
+)
+from .executor import (
+    WORKERS_AUTO,
+    ParallelExecutor,
+    resolve_workers,
+    split_ranges,
+)
+from .features import (
+    parallel_local_candidate_counts,
+    parallel_pair_cooccurrence,
+    prefill_feature_caches,
+)
+from .planner import EntityShard, ShardPlanner, shard_of_signature, stable_hash
+from .pruning import parallel_prune
+from .shm import SharedArray, SharedArrayHandle, attach_view
+
+__all__ = [
+    "EntityShard",
+    "ParallelExecutor",
+    "ShardPlanner",
+    "SharedArray",
+    "SharedArrayHandle",
+    "WORKERS_AUTO",
+    "assemble_blocks_sharded",
+    "attach_view",
+    "extract_candidate_keys_sharded",
+    "parallel_local_candidate_counts",
+    "parallel_pair_cooccurrence",
+    "parallel_prune",
+    "prefill_feature_caches",
+    "prepare_blocks_sharded",
+    "resolve_workers",
+    "shard_of_signature",
+    "split_ranges",
+    "stable_hash",
+]

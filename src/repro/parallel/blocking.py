@@ -1,0 +1,181 @@
+"""Sharded block preparation (the ``workers > 1`` blocking path).
+
+The array blocking backend (:mod:`repro.blocking.arrayops`) runs block
+preparation as four stages; this module parallelises the two that dominate
+its profile and keeps the rest as the same single-pass array code:
+
+* **tokenization** — the :class:`~repro.parallel.planner.ShardPlanner`
+  hash-partitions the profiles into K shards (stable global node ids),
+  workers tokenize and dictionary-encode their shard independently, and the
+  parent merges the per-shard token streams: shard vocabularies are unioned
+  into the global sorted vocabulary, shard codes remapped to global ranks,
+  and the concatenated ``(code, node)`` stream handed to
+  :func:`repro.blocking.arrayops.assemble_from_codes` — whose packed-key
+  sorted dedup makes the result independent of the partitioning, i.e.
+  bit-identical to single-pass assembly;
+* **candidate extraction** — the per-membership expansion plan
+  (:func:`repro.blocking.arrayops.pair_expansion_plan`) is computed once,
+  the flat membership arrays are published to shared memory, and workers
+  expand disjoint membership ranges into locally-deduplicated packed pair
+  keys; the parent folds the per-worker key sets with two-way sorted merges.
+  The distinct pair *set* of any contiguous partitioning is the same, so
+  the merged keys equal the serial extraction's output array exactly.
+
+Block Purging and Block Filtering remain single-pass array code: they are a
+handful of ``bincount``/``lexsort`` passes over per-block aggregates —
+memory-bandwidth bound and a rounding error in the stage profile.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from ..blocking.arrayops import (
+    ArrayPreparation,
+    DEFAULT_PAIR_CHUNK_KEYS,
+    LazyBlockCollection,
+    MembershipMatrix,
+    assemble_from_codes,
+    filter_matrix,
+    merge_sorted_unique,
+    pair_expansion_plan,
+    purge_matrix,
+)
+from ..blocking.base import BlockingMethod
+from ..blocking.token_blocking import TokenBlocking
+from ..datamodel import CandidateSet, EntityCollection, EntityIndexSpace
+from ..utils.timing import StageTimer
+from .executor import ParallelExecutor
+from .planner import ShardPlanner
+from .worker import candidate_chunk, tokenize_shard
+
+
+def assemble_blocks_sharded(
+    method: BlockingMethod,
+    first: EntityCollection,
+    second: Optional[EntityCollection],
+    executor: ParallelExecutor,
+) -> MembershipMatrix:
+    """Sharded tokenization + block assembly, bit-identical to the serial pass."""
+    if second is None:
+        index_space = EntityIndexSpace(len(first))
+        name = f"{method.name}({first.name})"
+    else:
+        index_space = EntityIndexSpace(len(first), len(second))
+        name = f"{method.name}({first.name},{second.name})"
+
+    planner = ShardPlanner(executor.workers)
+    shards = planner.plan(first, second)
+    results = executor.starmap(
+        tokenize_shard, [(shard.profiles, method) for shard in shards]
+    )
+
+    # merge the shard vocabularies into the global sorted vocabulary
+    vocabulary = sorted(set().union(*(vocab for vocab, _, _ in results))) if results else []
+    rank_of = {token: rank for rank, token in enumerate(vocabulary)}
+
+    code_parts: List[np.ndarray] = []
+    node_parts: List[np.ndarray] = []
+    for shard, (vocab, codes, lengths) in zip(shards, results):
+        if codes.size == 0:
+            continue
+        remap = np.fromiter(
+            (rank_of[token] for token in vocab), dtype=np.int64, count=len(vocab)
+        )
+        code_parts.append(remap[codes])
+        node_parts.append(np.repeat(shard.nodes, lengths))
+    codes = np.concatenate(code_parts) if code_parts else np.empty(0, dtype=np.int64)
+    nodes = np.concatenate(node_parts) if node_parts else np.empty(0, dtype=np.int64)
+    return assemble_from_codes(
+        codes, nodes, vocabulary, index_space, name, bilateral=second is not None
+    )
+
+
+def extract_candidate_keys_sharded(
+    matrix: MembershipMatrix,
+    executor: ParallelExecutor,
+    chunk_keys: int = DEFAULT_PAIR_CHUNK_KEYS,
+) -> np.ndarray:
+    """Sharded candidate extraction: same distinct packed keys as the serial pass."""
+    total = int(max(matrix.index_space.total, 1))
+    n_memberships = matrix.nodes.size
+    if n_memberships == 0 or matrix.num_blocks == 0:
+        return np.empty(0, dtype=np.int64)
+
+    repeats, right_begin, pair_offsets = pair_expansion_plan(matrix)
+    total_pairs = int(pair_offsets[-1])
+    if total_pairs == 0:
+        return np.empty(0, dtype=np.int64)
+
+    nodes_h = executor.publish(matrix.nodes)
+    repeats_h = executor.publish(repeats)
+    right_begin_h = executor.publish(right_begin)
+    offsets_h = executor.publish(pair_offsets)
+
+    # membership ranges balanced by pair count, not membership count
+    quantiles = np.linspace(0, total_pairs, executor.workers + 1)
+    bounds = np.searchsorted(pair_offsets, quantiles, side="left")
+    bounds[0], bounds[-1] = 0, n_memberships
+    tasks = [
+        (nodes_h, repeats_h, right_begin_h, offsets_h, int(start), int(stop), total, chunk_keys)
+        for start, stop in zip(bounds[:-1], bounds[1:])
+        if stop > start
+    ]
+    parts = executor.starmap(candidate_chunk, tasks)
+
+    seen: np.ndarray = np.empty(0, dtype=np.int64)
+    for part in parts:
+        seen = merge_sorted_unique(seen, part)
+    return seen
+
+
+def prepare_blocks_sharded(
+    first: EntityCollection,
+    second: Optional[EntityCollection],
+    executor: ParallelExecutor,
+    blocking: Optional[BlockingMethod] = None,
+    purging_fraction: float = 0.5,
+    filtering_ratio: float = 0.8,
+    apply_purging: bool = True,
+    apply_filtering: bool = True,
+    timer: Optional[StageTimer] = None,
+) -> ArrayPreparation:
+    """The array block-preparation pipeline with sharded hot stages.
+
+    Stage names and semantics match
+    :func:`repro.blocking.arrayops.prepare_blocks_array`; the output is
+    bit-identical (the ``workers`` equivalence suite asserts it).
+    """
+    timer = timer if timer is not None else StageTimer()
+    method = blocking if blocking is not None else TokenBlocking()
+
+    with timer.stage("blocking"):
+        raw_matrix = assemble_blocks_sharded(method, first, second, executor)
+        raw = LazyBlockCollection(raw_matrix)
+
+    with timer.stage("purging"):
+        if apply_purging:
+            purged_matrix = purge_matrix(raw_matrix, purging_fraction)
+            purged = LazyBlockCollection(purged_matrix)
+        else:
+            purged_matrix, purged = raw_matrix, raw
+
+    with timer.stage("filtering"):
+        if apply_filtering:
+            filtered_matrix = filter_matrix(purged_matrix, filtering_ratio)
+            filtered = (
+                purged if filtered_matrix is purged_matrix else filtered_matrix.materialize()
+            )
+        else:
+            filtered_matrix, filtered = purged_matrix, purged
+
+    with timer.stage("candidate-extraction"):
+        keys = extract_candidate_keys_sharded(filtered_matrix, executor)
+        candidates = CandidateSet.from_packed_keys(keys, filtered_matrix.index_space)
+        csr = filtered_matrix.csr()
+
+    return ArrayPreparation(
+        raw=raw, purged=purged, filtered=filtered, candidates=candidates, csr=csr
+    )

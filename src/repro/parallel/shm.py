@@ -1,0 +1,135 @@
+"""Shared-memory NumPy arrays for the parallel execution engine.
+
+The sharded executor (:mod:`repro.parallel.executor`) moves every large
+array between the parent and its worker processes through
+``multiprocessing.shared_memory`` segments: the parent copies an array into
+a segment once, workers attach zero-copy read-only views by segment name,
+and worker *outputs* with a known layout (the per-pair co-occurrence
+aggregates) are written into pre-allocated shared segments at disjoint
+offsets — no array ever crosses a process boundary through pickle.
+
+Two pieces:
+
+* :class:`SharedArray` — owner side: allocate a segment, expose the NumPy
+  view and the picklable :class:`SharedArrayHandle`, unlink on close.
+* :func:`attach_view` — worker side: attach a handle and return the view,
+  caching attachments per process so repeated tasks reuse the mapping.
+
+Python < 3.13 registers *attached* segments with the resource tracker as if
+the attaching process owned them, which triggers spurious "leaked
+shared_memory" warnings (and early unlinks) when workers exit; the attach
+path unregisters the segment again, the standard workaround.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from multiprocessing import resource_tracker, shared_memory
+from typing import Dict, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class SharedArrayHandle:
+    """A picklable reference to a shared-memory NumPy array."""
+
+    #: shared-memory segment name
+    name: str
+    #: array shape
+    shape: Tuple[int, ...]
+    #: dtype string (``np.dtype.str``, endianness included)
+    dtype: str
+
+
+class SharedArray:
+    """A NumPy array backed by a shared-memory segment this process owns.
+
+    Parameters
+    ----------
+    source:
+        Array to copy into the segment, or ``None`` with ``shape``/``dtype``
+        to allocate an uninitialised output buffer.
+    """
+
+    def __init__(
+        self,
+        source: np.ndarray = None,
+        shape: Tuple[int, ...] = None,
+        dtype=None,
+    ) -> None:
+        if source is not None:
+            source = np.ascontiguousarray(source)
+            shape, dtype = source.shape, source.dtype
+        else:
+            dtype = np.dtype(dtype)
+        size = max(1, int(np.prod(shape)) * np.dtype(dtype).itemsize)
+        self._shm = shared_memory.SharedMemory(create=True, size=size)
+        self.array = np.ndarray(shape, dtype=dtype, buffer=self._shm.buf)
+        if source is not None:
+            self.array[...] = source
+        self.handle = SharedArrayHandle(
+            name=self._shm.name, shape=tuple(shape), dtype=np.dtype(dtype).str
+        )
+        self._closed = False
+        _OWNED[self._shm.name] = self.array
+
+    def close(self) -> None:
+        """Release the view and unlink the segment (owner responsibility)."""
+        if self._closed:
+            return
+        self._closed = True
+        _OWNED.pop(self._shm.name, None)
+        self.array = None
+        self._shm.close()
+        try:
+            self._shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - already unlinked
+            pass
+
+    def __del__(self) -> None:  # pragma: no cover - GC safety net
+        try:
+            self.close()
+        except Exception:
+            pass
+
+
+#: Segments *owned* by this process, keyed by name.  When a worker kernel
+#: runs inline in the owner (single-task dispatch, ``workers=1`` executors),
+#: ``attach_view`` serves the owner's live view directly instead of opening
+#: a second mapping — which would outlive ``close()``/unlink in the
+#: process-local attach cache and could alias a recycled segment name.
+_OWNED: Dict[str, np.ndarray] = {}
+
+#: Process-local cache of attached segments, keyed by segment name.  Workers
+#: attach each published input once and reuse the mapping across tasks; the
+#: mappings live until the worker process exits (the pool is terminated when
+#: its executor closes, so the cache cannot outlive the published segments).
+_ATTACHED: Dict[str, shared_memory.SharedMemory] = {}
+
+
+def attach_view(handle: SharedArrayHandle) -> np.ndarray:
+    """Return the NumPy view of a shared array published by the parent.
+
+    The segment is attached read-write (output buffers are written through
+    the same path); callers by convention never write to *input* handles.
+    """
+    owned = _OWNED.get(handle.name)
+    if owned is not None:
+        return owned.reshape(handle.shape)
+    segment = _ATTACHED.get(handle.name)
+    if segment is None:
+        # suppress the tracker registration the attach would perform: the
+        # parent owns the segment and is the only process that may unlink
+        # it.  (Unregistering *after* the attach is not equivalent: under
+        # ``fork`` the tracker process is shared with the parent and its
+        # name cache is a set, so a worker-side unregister would race the
+        # parent's own unlink-time unregister.)
+        original_register = resource_tracker.register
+        resource_tracker.register = lambda *args, **kwargs: None
+        try:
+            segment = shared_memory.SharedMemory(name=handle.name)
+        finally:
+            resource_tracker.register = original_register
+        _ATTACHED[handle.name] = segment
+    return np.ndarray(handle.shape, dtype=np.dtype(handle.dtype), buffer=segment.buf)

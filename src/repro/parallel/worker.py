@@ -1,0 +1,324 @@
+"""Worker-side kernels of the parallel execution engine.
+
+Every function here is a module-level callable dispatched through
+:meth:`repro.parallel.executor.ParallelExecutor.starmap` (picklable by
+qualified name, importable under both ``fork`` and ``spawn`` start methods).
+Large inputs arrive as :class:`~repro.parallel.shm.SharedArrayHandle`
+references and are attached as zero-copy views; outputs are either written
+into pre-allocated shared buffers at disjoint offsets (the co-occurrence
+pass) or returned as small/result-sized arrays.
+
+All kernels are deterministic and seedless — they reuse the single-process
+NumPy kernels unchanged (:func:`repro.weights.sparse.compute_pair_cooccurrence`,
+the sorted-unique dedup of :mod:`repro.blocking.arrayops`), which is what
+makes every parallel stage bit-identical to its ``workers=1`` oracle.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from ..blocking.arrayops import merge_sorted_unique, sorted_unique
+from ..blocking.base import BlockingMethod
+from ..datamodel import EntityProfile
+from ..weights.sparse import EntityBlockCSR, compute_pair_cooccurrence
+from .shm import SharedArrayHandle, attach_view
+
+
+# -- tokenization ----------------------------------------------------------------
+def tokenize_shard(
+    profiles: Sequence[EntityProfile], blocking: BlockingMethod
+) -> Tuple[List[str], np.ndarray, np.ndarray]:
+    """Tokenize one entity shard into a dictionary-encoded signature stream.
+
+    Returns ``(vocabulary, codes, lengths)``: the shard's lexicographically
+    sorted signature vocabulary, one code per signature occurrence (indexing
+    that vocabulary, duplicates included) and the number of signatures per
+    profile.  The parent merges the shard vocabularies and remaps the codes
+    into the global sorted vocabulary — the same encoding
+    :func:`repro.blocking.arrayops._dictionary_encode` produces in one pass.
+    """
+    code_of: Dict[str, int] = {}
+    codes: List[int] = []
+    lengths = np.empty(len(profiles), dtype=np.int64)
+    setdefault = code_of.setdefault
+    append = codes.append
+    for position, signatures in enumerate(
+        blocking.signature_lists(_ProfileSequence(profiles))
+    ):
+        lengths[position] = len(signatures)
+        for signature in signatures:
+            append(setdefault(signature, len(code_of)))
+    codes_arr = np.asarray(codes, dtype=np.int64)
+    vocabulary = sorted(code_of)
+    if codes_arr.size:
+        rank_of = {token: rank for rank, token in enumerate(vocabulary)}
+        remap = np.fromiter(
+            (rank_of[token] for token in code_of), dtype=np.int64, count=len(code_of)
+        )
+        codes_arr = remap[codes_arr]
+    return vocabulary, codes_arr, lengths
+
+
+def signature_lists_chunk(
+    profiles: Sequence[EntityProfile], blocking: BlockingMethod
+) -> List[List[str]]:
+    """Raw per-profile signature lists for one chunk (sharded-index ingest)."""
+    return blocking.signature_lists(_ProfileSequence(profiles))
+
+
+class _ProfileSequence:
+    """Duck-typed stand-in for :class:`EntityCollection` in worker kernels.
+
+    ``BlockingMethod.signature_lists`` only iterates its argument, but
+    building a real collection would re-validate entity-id uniqueness per
+    chunk; this wrapper skips that.
+    """
+
+    def __init__(self, profiles: Sequence[EntityProfile]) -> None:
+        self._profiles = profiles
+
+    def __iter__(self):
+        return iter(self._profiles)
+
+    def __len__(self) -> int:
+        return len(self._profiles)
+
+
+# -- candidate extraction --------------------------------------------------------
+def candidate_chunk(
+    nodes_h: SharedArrayHandle,
+    repeats_h: SharedArrayHandle,
+    right_begin_h: SharedArrayHandle,
+    offsets_h: SharedArrayHandle,
+    start: int,
+    stop: int,
+    total: int,
+    chunk_keys: int,
+) -> np.ndarray:
+    """Distinct packed candidate keys spawned by one membership range.
+
+    The same expansion :func:`repro.blocking.arrayops.extract_candidate_keys`
+    runs — ``np.repeat`` over per-membership pair counts plus offset
+    arithmetic into the flat ``nodes`` array — restricted to memberships
+    ``[start, stop)`` and flushed through sorted-unique merges every
+    ``chunk_keys`` pairs to bound peak memory.
+    """
+    nodes = attach_view(nodes_h)
+    repeats = attach_view(repeats_h)
+    right_begin = attach_view(right_begin_h)
+    pair_offsets = attach_view(offsets_h)
+    total = np.int64(total)
+
+    seen: np.ndarray = np.empty(0, dtype=np.int64)
+    cursor = start
+    while cursor < stop:
+        end = int(
+            np.searchsorted(
+                pair_offsets, pair_offsets[cursor] + chunk_keys, side="right"
+            )
+        ) - 1
+        end = min(max(end, cursor + 1), stop)
+        chunk_repeats = repeats[cursor:end]
+        chunk_total = int(pair_offsets[end] - pair_offsets[cursor])
+        if chunk_total == 0:
+            cursor = end
+            continue
+        left = np.repeat(nodes[cursor:end], chunk_repeats)
+        within = np.arange(chunk_total, dtype=np.int64) - np.repeat(
+            pair_offsets[cursor:end] - pair_offsets[cursor], chunk_repeats
+        )
+        right = nodes[np.repeat(right_begin[cursor:end], chunk_repeats) + within]
+        seen = merge_sorted_unique(seen, sorted_unique(left * total + right))
+        cursor = end
+    return seen
+
+
+# -- feature generation ----------------------------------------------------------
+def cooccurrence_range(
+    indptr_h: SharedArrayHandle,
+    indices_h: SharedArrayHandle,
+    num_blocks: int,
+    inv_cardinality_h: SharedArrayHandle,
+    inv_size_h: SharedArrayHandle,
+    left_h: SharedArrayHandle,
+    right_h: SharedArrayHandle,
+    out_common_h: SharedArrayHandle,
+    out_inv_cardinality_h: SharedArrayHandle,
+    out_inv_size_h: SharedArrayHandle,
+    start: int,
+    stop: int,
+) -> None:
+    """Per-pair co-occurrence aggregates for candidate pairs ``[start, stop)``.
+
+    Runs :func:`repro.weights.sparse.compute_pair_cooccurrence` — the
+    single-process kernel, unchanged — on the pair slice and writes the three
+    aggregate vectors into the shared output buffers at the same offsets.
+    Slices are disjoint across workers, so no synchronisation is needed, and
+    each pair's aggregates depend only on its own CSR rows — chunk boundaries
+    cannot change any value.
+    """
+    csr = EntityBlockCSR(
+        indptr=attach_view(indptr_h),
+        indices=attach_view(indices_h),
+        num_blocks=num_blocks,
+    )
+    left = attach_view(left_h)
+    right = attach_view(right_h)
+    aggregates = compute_pair_cooccurrence(
+        csr,
+        attach_view(inv_cardinality_h),
+        attach_view(inv_size_h),
+        left[start:stop],
+        right[start:stop],
+    )
+    attach_view(out_common_h)[start:stop] = aggregates.common
+    attach_view(out_inv_cardinality_h)[start:stop] = aggregates.sum_inverse_cardinality
+    attach_view(out_inv_size_h)[start:stop] = aggregates.sum_inverse_size
+
+
+def lcp_block_range(
+    block_ptr_h: SharedArrayHandle,
+    block_nodes_h: SharedArrayHandle,
+    size_first: int,
+    is_clean_clean: bool,
+    total_nodes: int,
+    begin_block: int,
+    end_block: int,
+    chunk_keys: int,
+) -> np.ndarray:
+    """Distinct directed ``node * total + neighbour`` keys of a block range.
+
+    The array-native counterpart of the per-block expansion in
+    :func:`repro.weights.sparse.sparse_local_candidate_counts`, fed from the
+    block-major membership CSR instead of :class:`Block` objects.  Blocks
+    whose second side is empty fall back to intra-block pairs, mirroring
+    ``Block.is_bilateral``.  Because the result is a *set* of directed keys,
+    the union over any partition of the blocks is exact.
+    """
+    block_ptr = attach_view(block_ptr_h)
+    members_flat = attach_view(block_nodes_h)
+    total = np.int64(total_nodes)
+
+    seen: np.ndarray = np.empty(0, dtype=np.int64)
+    buffered: List[np.ndarray] = []
+    buffered_size = 0
+
+    def flush() -> None:
+        nonlocal seen, buffered, buffered_size
+        if not buffered:
+            return
+        fresh = sorted_unique(np.concatenate(buffered))
+        seen = merge_sorted_unique(seen, fresh)
+        buffered = []
+        buffered_size = 0
+
+    for block in range(begin_block, end_block):
+        members = members_flat[block_ptr[block] : block_ptr[block + 1]]
+        if is_clean_clean:
+            split = int(np.searchsorted(members, size_first))
+        else:
+            split = members.size
+        first, second = members[:split], members[split:]
+        if second.size > 0:
+            if first.size == 0:
+                continue
+            a = np.repeat(first, second.size)
+            b = np.tile(second, first.size)
+            buffered.append(a * total + b)
+            buffered.append(b * total + a)
+            buffered_size += 2 * a.size
+        else:
+            if first.size < 2:
+                continue
+            a = np.repeat(first, first.size)
+            b = np.tile(first, first.size)
+            off_diagonal = a != b
+            buffered.append(a[off_diagonal] * total + b[off_diagonal])
+            buffered_size += int(off_diagonal.sum())
+        if buffered_size >= chunk_keys:
+            flush()
+    flush()
+    return seen
+
+
+# -- cardinality pruning ---------------------------------------------------------
+def cep_chunk(
+    probabilities_h: SharedArrayHandle,
+    keys_h: SharedArrayHandle,
+    valid_positions_h: SharedArrayHandle,
+    start: int,
+    stop: int,
+    budget: int,
+) -> np.ndarray:
+    """The top-``budget`` candidate positions of one valid-position range.
+
+    Selection order is probability descending, packed key ascending — the
+    strict total order CEP's bounded queue retains under.  A chunk's local
+    top-``budget`` always contains every global survivor the chunk holds, so
+    merging per-chunk selections and re-selecting is exact.
+    """
+    probabilities = attach_view(probabilities_h)
+    keys = attach_view(keys_h)
+    positions = attach_view(valid_positions_h)[start:stop]
+    order = np.lexsort((keys[positions], -probabilities[positions]))
+    return positions[order[:budget]]
+
+
+def cnp_node_range(
+    entry_node_h: SharedArrayHandle,
+    entry_prob_h: SharedArrayHandle,
+    entry_key_h: SharedArrayHandle,
+    entry_id_h: SharedArrayHandle,
+    node_ptr_h: SharedArrayHandle,
+    begin_node: int,
+    end_node: int,
+    budget: int,
+) -> np.ndarray:
+    """The retained entry ids of every node in ``[begin_node, end_node)``.
+
+    Entries are the (node, pair) incidences of the valid candidate pairs,
+    grouped by node.  For each node the top-``budget`` entries by
+    (probability desc, packed key asc) are retained — exactly the contents
+    of CNP's per-entity bounded queue, computed by sorting because bounded
+    top-k selection under a strict total order is insertion-order-free.
+    """
+    node_ptr = attach_view(node_ptr_h)
+    lo, hi = int(node_ptr[begin_node]), int(node_ptr[end_node])
+    nodes = attach_view(entry_node_h)[lo:hi]
+    probabilities = attach_view(entry_prob_h)[lo:hi]
+    keys = attach_view(entry_key_h)[lo:hi]
+    entry_ids = attach_view(entry_id_h)[lo:hi]
+    if nodes.size == 0:
+        return np.empty(0, dtype=np.int64)
+    order = np.lexsort((keys, -probabilities, nodes))
+    ordered_nodes = nodes[order]
+    starts = np.flatnonzero(np.r_[True, ordered_nodes[1:] != ordered_nodes[:-1]])
+    group_start = np.repeat(starts, np.diff(np.r_[starts, ordered_nodes.size]))
+    rank = np.arange(ordered_nodes.size, dtype=np.int64) - group_start
+    return entry_ids[order[rank < budget]]
+
+
+def blast_maxima_chunk(
+    left_h: SharedArrayHandle,
+    right_h: SharedArrayHandle,
+    probabilities_h: SharedArrayHandle,
+    valid_positions_h: SharedArrayHandle,
+    start: int,
+    stop: int,
+    total_nodes: int,
+) -> np.ndarray:
+    """Per-node maxima of the valid probabilities in one pair range.
+
+    Maximum is exact and order-free, so element-wise combination of the
+    per-chunk arrays reproduces the serial ``np.maximum.at`` pass bit for
+    bit.
+    """
+    positions = attach_view(valid_positions_h)[start:stop]
+    probabilities = attach_view(probabilities_h)[positions]
+    maxima = np.zeros(total_nodes, dtype=np.float64)
+    np.maximum.at(maxima, attach_view(left_h)[positions], probabilities)
+    np.maximum.at(maxima, attach_view(right_h)[positions], probabilities)
+    return maxima

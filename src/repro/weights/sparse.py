@@ -247,6 +247,16 @@ class PairCooccurrenceCache:
         self._entry = (weakref.ref(candidates), result)
         return result
 
+    def seed(self, candidates, result: PairCooccurrence) -> None:
+        """Install precomputed aggregates for ``candidates``.
+
+        The parallel feature engine (:mod:`repro.parallel.features`)
+        computes the aggregates across worker processes and seeds them
+        here, so every scheme of the subsequent generation reads the cache
+        instead of re-running the intersection pass.
+        """
+        self._entry = (weakref.ref(candidates), result)
+
 
 #: Upper bound on the number of expanded (node, neighbour) keys buffered
 #: before a dedup flush in :func:`sparse_local_candidate_counts`.

@@ -130,6 +130,22 @@ class BlockStatistics:
             ),
         )
 
+    # -- parallel-engine seeding -----------------------------------------------
+    def seed_pair_cooccurrence(
+        self, candidates: CandidateSet, aggregates: PairCooccurrence
+    ) -> None:
+        """Install externally computed per-pair aggregates for ``candidates``.
+
+        Used by :mod:`repro.parallel.features` after its sharded
+        intersection pass; subsequent scheme computations over the same
+        candidate-set object read the cache.
+        """
+        self._pair_cache.seed(candidates, aggregates)
+
+    def seed_local_candidate_counts(self, counts: np.ndarray) -> None:
+        """Install externally computed LCP counts (sparse-backend cache)."""
+        self._lcp_sparse = np.asarray(counts, dtype=np.float64)
+
     # -- memberships -----------------------------------------------------------
     def blocks_of(self, node: int) -> FrozenSet[int]:
         """The block ids containing ``node`` (empty when the node has none)."""

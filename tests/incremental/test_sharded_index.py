@@ -1,0 +1,251 @@
+"""Equivalence tests for :class:`ShardedMutableBlockIndex` and ``compact()``.
+
+A signature-sharded index fed any interleaving of add/remove/update/bulk
+must expose the same aggregate contract as the unsharded
+:class:`MutableBlockIndex` on the same stream: identical node numbering,
+identical distinct-pair sets, matching per-entity/global aggregates and
+co-occurrence aggregates.  ``compact()`` must bound memory (no tombstoned
+slots, no retracted registry positions) while leaving the canonical view
+untouched.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.datamodel import make_profile
+from repro.incremental import MutableBlockIndex, ShardedMutableBlockIndex
+from repro.parallel import ParallelExecutor
+
+WORDS = (
+    "apple", "samsung", "phone", "smartphone", "mate", "fold", "x",
+    "s20", "20", "the", "and", "a", "pro", "mini",
+)
+
+SLOW_SETTINGS = settings(
+    max_examples=10,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def churn_scripts(draw, bilateral):
+    """A random interleaving of inserts, bulk loads, removals and updates."""
+    steps = []
+    live = []
+    counter = 0
+    for _ in range(draw(st.integers(3, 12))):
+        kind = draw(st.sampled_from(("add", "bulk", "remove", "update")))
+        side = draw(st.integers(0, 1)) if bilateral else 0
+        if kind in ("remove", "update") and not live:
+            kind = "add"
+        if kind == "add":
+            tokens = draw(st.lists(st.sampled_from(WORDS), min_size=0, max_size=5))
+            steps.append(("add", f"e{counter}", side, tokens))
+            live.append((f"e{counter}", side))
+            counter += 1
+        elif kind == "bulk":
+            size = draw(st.integers(1, 4))
+            batch = []
+            for _ in range(size):
+                tokens = draw(st.lists(st.sampled_from(WORDS), min_size=0, max_size=5))
+                batch.append((f"e{counter}", tokens))
+                live.append((f"e{counter}", side))
+                counter += 1
+            steps.append(("bulk", batch, side))
+        elif kind == "remove":
+            target = draw(st.sampled_from(live))
+            live.remove(target)
+            steps.append(("remove", target[0], target[1]))
+        else:
+            target = draw(st.sampled_from(live))
+            tokens = draw(st.lists(st.sampled_from(WORDS), min_size=0, max_size=5))
+            steps.append(("update", target[0], target[1], tokens))
+    return steps
+
+
+def apply_script(index, steps):
+    for step in steps:
+        if step[0] == "add":
+            _, entity_id, side, tokens = step
+            index.add_entity(make_profile(entity_id, t=" ".join(tokens)), side=side)
+        elif step[0] == "bulk":
+            _, batch, side = step
+            index.add_entities_bulk(
+                [make_profile(eid, t=" ".join(tokens)) for eid, tokens in batch],
+                side=side,
+            )
+        elif step[0] == "remove":
+            _, entity_id, side = step
+            index.remove_entity(entity_id, side=side)
+        else:
+            _, entity_id, side, tokens = step
+            index.update_entity(make_profile(entity_id, t=" ".join(tokens)), side=side)
+
+
+def pairs_of(candidates):
+    return set(zip(candidates.left.tolist(), candidates.right.tolist()))
+
+
+def pair_set(index):
+    return pairs_of(index.candidate_set())
+
+
+def assert_same_contract(single, sharded):
+    assert sharded.num_entities == single.num_entities
+    assert sharded.num_slots == single.num_slots
+    assert np.array_equal(sharded.canonical_node_ids(), single.canonical_node_ids())
+    assert pair_set(sharded) == pair_set(single)
+    assert sharded.num_pairs == single.num_pairs
+
+    stats_single, stats_sharded = single.statistics(), sharded.statistics()
+    assert stats_sharded.num_blocks == stats_single.num_blocks
+    assert stats_sharded.total_cardinality == stats_single.total_cardinality
+    for attribute in (
+        "blocks_per_entity",
+        "entity_cardinality",
+        "entity_inv_cardinality",
+        "entity_inv_size",
+    ):
+        assert np.allclose(
+            getattr(stats_sharded, attribute), getattr(stats_single, attribute)
+        ), attribute
+    assert np.allclose(
+        stats_sharded.local_candidate_counts_sparse(),
+        stats_single.local_candidate_counts_sparse(),
+    )
+
+    candidates = sharded.candidate_set()
+    if len(candidates):
+        agg_single = stats_single.pair_cooccurrence(candidates)
+        agg_sharded = stats_sharded.pair_cooccurrence(candidates)
+        assert np.array_equal(agg_single.common, agg_sharded.common)
+        assert np.allclose(
+            agg_single.sum_inverse_cardinality, agg_sharded.sum_inverse_cardinality
+        )
+        assert np.allclose(agg_single.sum_inverse_size, agg_sharded.sum_inverse_size)
+
+    snap_single = {
+        (b.key, tuple(b.entities_first), tuple(b.entities_second))
+        for b in single.snapshot_blocks()
+    }
+    snap_sharded = {
+        (b.key, tuple(b.entities_first), tuple(b.entities_second))
+        for b in sharded.snapshot_blocks()
+    }
+    assert snap_single == snap_sharded
+
+
+@SLOW_SETTINGS
+@given(data=st.data(), bilateral=st.booleans(), num_shards=st.sampled_from((2, 3)))
+def test_sharded_matches_unsharded_under_churn(data, bilateral, num_shards):
+    steps = data.draw(churn_scripts(bilateral))
+    single = MutableBlockIndex(bilateral=bilateral)
+    sharded = ShardedMutableBlockIndex(bilateral=bilateral, num_shards=num_shards)
+    apply_script(single, steps)
+    apply_script(sharded, steps)
+    assert_same_contract(single, sharded)
+
+    # compacting the shards must not change the canonical contract
+    sharded.compact()
+    assert sharded.num_slots == sharded.num_entities
+    assert pairs_of(
+        sharded.canonical_candidates(sharded.candidate_set())
+    ) == pairs_of(single.canonical_candidates(single.candidate_set()))
+
+
+def test_bulk_tokenization_through_executor():
+    """Bulk-load tokenization fanned out over worker processes is identical."""
+    profiles = [
+        make_profile(f"e{i}", t=" ".join(WORDS[i % len(WORDS)] for _ in range(3)))
+        for i in range(20)
+    ]
+    plain = ShardedMutableBlockIndex(num_shards=2)
+    plain.add_entities_bulk(profiles)
+    with ParallelExecutor(2) as executor:
+        parallel = ShardedMutableBlockIndex(num_shards=2, executor=executor)
+        parallel.add_entities_bulk(profiles)
+    assert pair_set(plain) == pair_set(parallel)
+    assert plain.num_blocks == parallel.num_blocks
+
+
+class TestCompactChurn:
+    """Satellite: ``compact()`` bounds long-lived high-churn sessions."""
+
+    def _churned_index(self):
+        rng = np.random.default_rng(5)
+        index = MutableBlockIndex(bilateral=True)
+        for i in range(120):
+            tokens = rng.choice(WORDS, size=int(rng.integers(1, 5)))
+            index.add_entity(
+                make_profile(f"e{i}", t=" ".join(tokens)), side=int(i % 2)
+            )
+        for i in range(0, 120, 2):  # heavy churn: retract half of everything
+            index.remove_entity(f"e{i}", side=int(i % 2))
+        return index
+
+    def test_compact_bounds_memory(self):
+        index = self._churned_index()
+        assert index.num_slots > index.num_entities
+        assert index.num_registered_pairs > index.num_pairs
+        index.compact()
+        # bounded: no tombstoned slots, no retracted registry positions
+        assert index.num_slots == index.num_entities
+        assert index.num_registered_pairs == index.num_pairs
+
+    def test_compact_preserves_the_canonical_view(self):
+        index = self._churned_index()
+        canonical = index.canonical_node_ids()
+        live = canonical >= 0
+        order = np.argsort(canonical[live])
+        before_pairs = pairs_of(index.canonical_candidates(index.candidate_set()))
+        stats = index.statistics()
+        before = {
+            "num_blocks": stats.num_blocks,
+            "total_cardinality": stats.total_cardinality,
+            "blocks_per_entity": stats.blocks_per_entity[live][order].copy(),
+            "entity_inv_cardinality": stats.entity_inv_cardinality[live][order].copy(),
+            "degrees": stats.local_candidate_counts_sparse()[live][order].copy(),
+        }
+        snapshot_before = {
+            (b.key, tuple(b.entities_first), tuple(b.entities_second))
+            for b in index.snapshot_blocks()
+        }
+
+        index.compact()
+
+        assert pairs_of(index.canonical_candidates(index.candidate_set())) == before_pairs
+        canonical2 = index.canonical_node_ids()
+        live2 = canonical2 >= 0
+        order2 = np.argsort(canonical2[live2])
+        stats2 = index.statistics()
+        assert stats2.num_blocks == before["num_blocks"]
+        assert stats2.total_cardinality == before["total_cardinality"]
+        assert np.allclose(
+            stats2.blocks_per_entity[live2][order2], before["blocks_per_entity"]
+        )
+        assert np.allclose(
+            stats2.entity_inv_cardinality[live2][order2],
+            before["entity_inv_cardinality"],
+        )
+        assert np.allclose(
+            stats2.local_candidate_counts_sparse()[live2][order2], before["degrees"]
+        )
+        snapshot_after = {
+            (b.key, tuple(b.entities_first), tuple(b.entities_second))
+            for b in index.snapshot_blocks()
+        }
+        assert snapshot_before == snapshot_after
+
+    def test_compact_then_mutate(self):
+        index = self._churned_index()
+        index.compact()
+        delta = index.add_entity(make_profile("fresh", t="apple phone"), side=0)
+        assert delta.node == index.num_slots - 1
+        index.remove_entity("fresh", side=0)
+        index.compact()
+        assert index.num_slots == index.num_entities
+        with pytest.raises(KeyError):
+            index.node_of("fresh", side=0)

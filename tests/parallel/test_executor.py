@@ -1,0 +1,136 @@
+"""Unit tests for the parallel engine's building blocks.
+
+Shared-memory round-trips, worker-knob resolution, deterministic range
+splitting and stable shard planning — the pieces every parallel stage is
+built from.
+"""
+
+import numpy as np
+import pytest
+
+from repro.datamodel import EntityCollection, make_profile
+from repro.parallel import (
+    ParallelExecutor,
+    ShardPlanner,
+    SharedArray,
+    attach_view,
+    resolve_workers,
+    shard_of_signature,
+    split_ranges,
+    stable_hash,
+)
+
+
+class TestResolveWorkers:
+    def test_defaults_and_auto(self):
+        assert resolve_workers(None) == 1
+        assert resolve_workers(1) == 1
+        assert resolve_workers(4) == 4
+        assert resolve_workers("3") == 3
+        assert resolve_workers("auto") >= 1
+
+    @pytest.mark.parametrize("bad", [0, -2, "zero", "", 2.5, True, "-1"])
+    def test_rejects_invalid(self, bad):
+        with pytest.raises(ValueError):
+            resolve_workers(bad)
+
+
+class TestSplitRanges:
+    def test_covers_without_overlap(self):
+        for n in (0, 1, 5, 17, 100):
+            for parts in (1, 2, 3, 7):
+                ranges = split_ranges(n, parts)
+                flat = [i for start, stop in ranges for i in range(start, stop)]
+                assert flat == list(range(n))
+                assert all(stop > start for start, stop in ranges)
+
+    def test_never_more_parts_than_items(self):
+        assert len(split_ranges(2, 8)) == 2
+        assert split_ranges(0, 4) == []
+
+
+class TestSharedArray:
+    def test_roundtrip(self):
+        source = np.arange(17, dtype=np.float64) * 0.5
+        shared = SharedArray(source)
+        try:
+            view = attach_view(shared.handle)
+            assert np.array_equal(view, source)
+            assert view.dtype == source.dtype
+        finally:
+            shared.close()
+
+    def test_output_allocation(self):
+        with ParallelExecutor(1) as executor:
+            handle, view = executor.allocate_output((5,), np.float64)
+            assert np.array_equal(view, np.zeros(5))
+            view[:] = 3.0
+            assert np.array_equal(attach_view(handle), np.full(5, 3.0))
+
+    def test_publish_keeps_temporaries_distinct(self):
+        # regression: publish() must hold the source reference — otherwise a
+        # garbage-collected temporary frees its id and a later publish of a
+        # different temporary can alias the stale segment
+        with ParallelExecutor(1) as executor:
+            base = np.arange(1000, dtype=np.float64)
+            handles = [executor.publish(base * scale) for scale in (1.0, 2.0, 3.0)]
+            views = [attach_view(handle) for handle in handles]
+            for scale, view in zip((1.0, 2.0, 3.0), views):
+                assert np.array_equal(view, base * scale)
+
+    def test_publish_idempotent_per_object(self):
+        with ParallelExecutor(1) as executor:
+            array = np.arange(10, dtype=np.int64)
+            assert executor.publish(array) == executor.publish(array)
+
+
+class TestExecutorDispatch:
+    def test_inline_when_single_worker(self):
+        with ParallelExecutor(1) as executor:
+            assert executor._pool is None
+            results = executor.starmap(divmod, [(7, 3), (9, 2)])
+            assert results == [(2, 1), (4, 1)]
+            assert executor._pool is None  # never built a pool
+
+    def test_pool_dispatch_preserves_order(self):
+        with ParallelExecutor(2) as executor:
+            results = executor.starmap(divmod, [(n, 3) for n in range(8)])
+            assert results == [divmod(n, 3) for n in range(8)]
+
+    def test_closed_executor_refuses_work(self):
+        executor = ParallelExecutor(2)
+        executor.close()
+        with pytest.raises(RuntimeError):
+            executor.starmap(divmod, [(1, 1), (2, 1)])
+
+
+class TestShardPlanner:
+    def test_stable_hash_is_process_independent(self):
+        # frozen values: a salted hash would break cross-run reproducibility
+        assert stable_hash("apple") == 2838417488
+        assert shard_of_signature("apple", 4) == stable_hash("apple") % 4
+
+    def test_plan_preserves_global_node_ids(self):
+        first = EntityCollection(
+            [make_profile(f"a{i}", t="x") for i in range(5)], name="first"
+        )
+        second = EntityCollection(
+            [make_profile(f"b{i}", t="y") for i in range(3)], name="second"
+        )
+        shards = ShardPlanner(3).plan(first, second)
+        nodes = np.sort(np.concatenate([shard.nodes for shard in shards]))
+        assert np.array_equal(nodes, np.arange(8))
+        for shard in shards:
+            for profile, node in zip(shard.profiles, shard.nodes):
+                expected = (
+                    first[int(node)].entity_id
+                    if node < 5
+                    else second[int(node) - 5].entity_id
+                )
+                assert profile.entity_id == expected
+
+    def test_assignment_is_a_pure_function_of_the_id(self):
+        planner = ShardPlanner(4)
+        assert planner.shard_of("e42") == ShardPlanner(4).shard_of("e42")
+        with pytest.raises(ValueError):
+            ShardPlanner(0)
