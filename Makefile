@@ -8,12 +8,13 @@
 #   make bench-churn       - dynamic churn bench (delete latency, bulk loads)
 #   make bench-blocking    - block-preparation bench (loop vs array backend)
 #   make bench-parallel    - sharded-engine scaling bench (speedup vs workers)
+#   make bench-wal         - WAL durability bench (journal overhead, recovery)
 #   make bench             - the full pytest-benchmark harness
 
 PYTHON ?= python
 PYTEST  = PYTHONPATH=src $(PYTHON) -m pytest
 
-.PHONY: test test-equivalence test-fast bench-smoke bench-stream bench-churn bench-blocking bench-parallel bench
+.PHONY: test test-equivalence test-fast bench-smoke bench-stream bench-churn bench-blocking bench-parallel bench-wal bench
 
 test:
 	$(PYTEST) -x -q
@@ -38,6 +39,9 @@ bench-blocking:
 
 bench-parallel:
 	$(PYTEST) -q benchmarks/bench_parallel_scaling.py
+
+bench-wal:
+	$(PYTEST) -q benchmarks/bench_wal_recovery.py
 
 bench:
 	$(PYTEST) -q benchmarks/ -o python_files='bench_*.py' --benchmark-only

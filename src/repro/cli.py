@@ -219,6 +219,7 @@ def _run_quickstart(args: argparse.Namespace) -> str:
 def _run_stream(args: argparse.Namespace, parser: argparse.ArgumentParser) -> str:
     from .datasets import load_benchmark, load_clean_clean_directory
     from .incremental import (
+        MatchingSession,
         StreamTrainingError,
         evaluate_retained_ids,
         ground_truth_id_pairs,
@@ -233,6 +234,31 @@ def _run_stream(args: argparse.Namespace, parser: argparse.ArgumentParser) -> st
         parser.error("--top-k must be at least 1")
     if not 0.0 <= args.deletes < 1.0:
         parser.error("--deletes must be a fraction in [0, 1)")
+    if args.snapshot_every is not None and args.snapshot_every < 1:
+        parser.error("--snapshot-every must be at least 1")
+    if args.recover:
+        if args.wal is None:
+            parser.error("--recover requires --wal DIR")
+        try:
+            session = MatchingSession.recover(args.wal)
+        except (FileNotFoundError, ValueError) as error:
+            parser.error(f"cannot recover from {args.wal}: {error}")
+        final = session.retained()
+        session.close()
+        online_text = ""
+        if session.online is not None:
+            online_text = (
+                f"  online policy {session.online.name}, threshold "
+                f"{session.online.threshold:.3f}\n"
+            )
+        return (
+            f"recovered session from {args.wal}\n"
+            f"  {session.index.num_entities} live entities, "
+            f"{session.num_pairs} candidate pairs\n"
+            f"{online_text}"
+            f"  final {session.pruning.name} answer: "
+            f"{final.retained_count} pairs retained"
+        )
 
     if args.dataset_dir is not None:
         try:
@@ -259,16 +285,21 @@ def _run_stream(args: argparse.Namespace, parser: argparse.ArgumentParser) -> st
     except StreamTrainingError as error:
         parser.error(str(error))
 
-    replay = replay_stream(
-        dataset,
-        model,
-        pruning=args.pruning,
-        online=args.online,
-        top_k=args.top_k,
-        limit=args.limit,
-        delete_fraction=args.deletes,
-        churn_seed=args.seed,
-    )
+    try:
+        replay = replay_stream(
+            dataset,
+            model,
+            pruning=args.pruning,
+            online=args.online,
+            top_k=args.top_k,
+            limit=args.limit,
+            delete_fraction=args.deletes,
+            churn_seed=args.seed,
+            wal_path=args.wal,
+            snapshot_every=args.snapshot_every,
+        )
+    except ValueError as error:
+        parser.error(str(error))
     final = replay.session.retained()
     # judge recall against the duplicates the *live* index can still retain:
     # entities never streamed (--limit) or since retracted (--deletes) are
@@ -279,6 +310,17 @@ def _run_stream(args: argparse.Namespace, parser: argparse.ArgumentParser) -> st
     )
     recall, precision = evaluate_retained_ids(final, truth)
     mean, p50, p95 = replay.latency_percentiles()
+    wal_text = ""
+    if args.wal is not None:
+        replay.session.close()
+        recovered = MatchingSession.recover(args.wal)
+        identical = recovered.retained().retained_id_set() == final.retained_id_set()
+        recovered.close()
+        wal_text = (
+            f"  WAL: journaled to {args.wal} "
+            f"({len(recovered.wal.snapshot_paths())} snapshots), recovery "
+            f"check: {'identical retained set' if identical else 'MISMATCH'}\n"
+        )
     churn_text = ""
     if replay.num_deletes:
         churn_text = (
@@ -291,6 +333,7 @@ def _run_stream(args: argparse.Namespace, parser: argparse.ArgumentParser) -> st
         f"({replay.session.num_pairs} candidate pairs)\n"
         f"  per-insert latency: mean={mean * 1e3:.3f}ms p50={p50 * 1e3:.3f}ms "
         f"p95={p95 * 1e3:.3f}ms  throughput={replay.throughput:,.0f} inserts/s\n"
+        f"{wal_text}"
         f"{churn_text}"
         f"  online matches reported: {int(replay.online_matches.sum())} "
         f"(policy {replay.session.online.name}, threshold "
@@ -409,6 +452,29 @@ def build_parser() -> argparse.ArgumentParser:
     stream_parser.add_argument(
         "--scale", type=float, default=None,
         help="scale factor for the generated benchmark (smaller = faster)",
+    )
+    stream_parser.add_argument(
+        "--wal",
+        default=None,
+        metavar="DIR",
+        help="journal every session mutation to a write-ahead log in DIR "
+        "(repro.persistence); after streaming, the session is recovered "
+        "from the log and checked against the live answer",
+    )
+    stream_parser.add_argument(
+        "--recover",
+        action="store_true",
+        help="skip training and streaming: recover the session persisted "
+        "in --wal DIR and print its summary",
+    )
+    stream_parser.add_argument(
+        "--snapshot-every",
+        type=int,
+        default=None,
+        dest="snapshot_every",
+        metavar="N",
+        help="write an automatic compacted checkpoint every N mutations "
+        "while journaling (default: only the bootstrap snapshot)",
     )
     stream_parser.add_argument("--training-size", type=int, default=50, dest="training_size")
     stream_parser.add_argument("--seed", type=int, default=0)

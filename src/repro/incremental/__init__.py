@@ -42,6 +42,7 @@ from .session import (
     OnlineWEP,
     RemovalResult,
     SessionResult,
+    StaleSessionError,
     UpdateResult,
 )
 from .stream import (
@@ -75,6 +76,7 @@ __all__ = [
     "SessionResult",
     "ShardedMutableBlockIndex",
     "ShardedStatistics",
+    "StaleSessionError",
     "UnknownEntityError",
     "UpdateDelta",
     "UpdateResult",

@@ -113,20 +113,41 @@ class DuplicateEntityError(ValueError):
         self.side = side
 
 
+#: node ids must stay below 2^32 for the packed pair keys to be collision
+#: free; the insert path refuses to assign ids past this bound
+MAX_NODE_ID = 1 << 32
+
+
+def _node_id_overflow(node: int) -> OverflowError:
+    return OverflowError(
+        f"node id {node} reaches 2^32: packed pair keys would collide and "
+        "silently corrupt the candidate registry; compact() the index to "
+        "renumber live entities into fresh slots"
+    )
+
+
 def _pack_pair(left: int, right: int) -> int:
     """A unique dict key for a canonical (left < right) node pair."""
+    if left >= MAX_NODE_ID or right >= MAX_NODE_ID:
+        raise _node_id_overflow(max(left, right))
     return (left << 32) | right
 
 
 def pack_pair_keys(left: np.ndarray, right: np.ndarray) -> np.ndarray:
     """Vectorized :func:`_pack_pair`: one stable int64 key per node pair.
 
-    Node ids never reach 2^32, so ``left << 32 | right`` is collision free
-    and — unlike a stride-based packing — stable as the index grows.  The
-    registry and the session's online tie-breaking share this definition.
+    Node ids below 2^32 make ``left << 32 | right`` collision free and —
+    unlike a stride-based packing — stable as the index grows.  The
+    registry and the session's online tie-breaking share this definition;
+    ids at or past the bound raise :class:`OverflowError` rather than
+    producing colliding keys.
     """
     left = np.asarray(left, dtype=np.int64)
     right = np.asarray(right, dtype=np.int64)
+    if left.size and (
+        int(left.max()) >= MAX_NODE_ID or int(right.max()) >= MAX_NODE_ID
+    ):
+        raise _node_id_overflow(max(int(left.max()), int(right.max())))
     return (left << np.int64(32)) | right
 
 
@@ -340,26 +361,6 @@ class IncrementalStatistics:
         )
 
 
-class _StoredSignatures(BlockingMethod):
-    """Serves precomputed signature lists during a :meth:`compact` rebuild.
-
-    The index stores signatures (block keys) rather than profiles, so the
-    rebuild replays them directly instead of re-tokenizing; profile order
-    must match the stored list order.
-    """
-
-    name = "stored-signatures"
-
-    def __init__(self, signature_lists: Sequence[List[str]]) -> None:
-        self._signature_lists = signature_lists
-
-    def signatures_of(self, profile: EntityProfile):  # pragma: no cover
-        raise NotImplementedError("compact() rebuilds through signature_lists")
-
-    def signature_lists(self, collection) -> List[List[str]]:
-        return list(self._signature_lists)
-
-
 class MutableBlockIndex:
     """A token/block inverted index supporting online insertion, removal,
     in-place update and bulk loading.
@@ -440,6 +441,42 @@ class MutableBlockIndex:
         self.total_cardinality: int = 0
         self.num_nonempty_blocks: int = 0
         self.total_block_assignments: int = 0
+
+        # durability / lifecycle state: an optional write-ahead log every
+        # mutation is journaled to (append-before-apply), and a generation
+        # counter bumped by compact() so sessions holding raw registry
+        # positions can detect an out-of-band compaction
+        self._wal = None
+        self._wal_suspended = False
+        self.generation: int = 0
+
+    # -- durability --------------------------------------------------------------
+    def attach_wal(self, wal) -> None:
+        """Journal every following mutation to ``wal``.
+
+        A fresh log receives a meta record describing the index topology,
+        so recovery can reconstruct the right index kind even before the
+        first snapshot is written.  Attaching an already-written log (the
+        resume path of :func:`repro.persistence.recover_index`) appends
+        behind the existing records.
+        """
+        wal.open()
+        if wal.is_fresh:
+            wal.append_record(
+                {
+                    "op": "meta",
+                    "format": 1,
+                    "kind": "index",
+                    "bilateral": self.bilateral,
+                    "name": self.name,
+                }
+            )
+        self._wal = wal
+
+    def _log_record(self, record: dict) -> None:
+        """Append one logical record (no-op without an attached log)."""
+        if self._wal is not None and not self._wal_suspended:
+            self._wal.append_record(record)
 
     # -- container protocol ----------------------------------------------------
     @property
@@ -559,10 +596,19 @@ class MutableBlockIndex:
         self._check_side(side)
         if (side, profile.entity_id) in self._node_of_id:
             raise DuplicateEntityError(profile.entity_id, side)
-
-        node = self._register_entity(profile.entity_id, side)
-
         signatures = sorted(self.blocking.signatures_of(profile))
+        self._log_record(
+            {"op": "add", "id": profile.entity_id, "side": side, "sig": signatures}
+        )
+        return self._apply_insert(profile.entity_id, side, signatures)
+
+    def _apply_insert(
+        self, entity_id: str, side: int, signatures: Sequence[str]
+    ) -> InsertDelta:
+        """Insert with pre-extracted distinct signatures (the WAL replay and
+        sharded-routing entry point; arguments must already be validated)."""
+        node = self._register_entity(entity_id, side)
+
         block_ids: List[int] = []
         counterpart_parts: List[np.ndarray] = []
         for signature in signatures:
@@ -589,7 +635,7 @@ class MutableBlockIndex:
 
         return InsertDelta(
             node=node,
-            entity_id=profile.entity_id,
+            entity_id=entity_id,
             block_ids=sorted_block_ids,
             counterparts=counterparts,
             pair_positions=pair_positions,
@@ -636,12 +682,28 @@ class MutableBlockIndex:
                 raise DuplicateEntityError(profile.entity_id, side)
             seen_batch.add(profile.entity_id)
 
-        base = self.num_slots
-        n_new = len(profiles)
-        self._register_entities_batch(profiles, side)
-
-        # batch tokenization + dictionary encoding against the live block ids
+        # batch tokenization happens before any state change, so a logged
+        # bulk record always precedes its application (append-before-apply)
         signature_lists = self.blocking.signature_lists(profiles)
+        entries = [
+            (profile.entity_id, list(signatures))
+            for profile, signatures in zip(profiles, signature_lists)
+        ]
+        if self._wal is not None and not self._wal_suspended:
+            self._log_record({"op": "bulk", "side": side, "entities": entries})
+        return self._apply_bulk(entries, side)
+
+    def _apply_bulk(
+        self, entries: Sequence[Tuple[str, List[str]]], side: int
+    ) -> BulkInsertDelta:
+        """Bulk-insert ``(entity_id, signatures)`` entries (the WAL replay,
+        snapshot rebuild and compaction entry point; entries must already be
+        validated)."""
+        base = self.num_slots
+        n_new = len(entries)
+        self._register_entities_batch([entity_id for entity_id, _ in entries], side)
+
+        # dictionary encoding against the live block ids
         flat_ids: List[int] = []
         lengths = np.empty(n_new, dtype=np.int64)
         blocks_before = self.num_blocks
@@ -650,7 +712,7 @@ class MutableBlockIndex:
         members_first = self._members_first
         members_second = self._members_second
         append_id = flat_ids.append
-        for offset, signatures in enumerate(signature_lists):
+        for offset, (_, signatures) in enumerate(entries):
             lengths[offset] = len(signatures)
             for signature in signatures:
                 block_id = block_ids.get(signature)
@@ -694,7 +756,7 @@ class MutableBlockIndex:
 
         return BulkInsertDelta(
             nodes=np.arange(base, base + n_new, dtype=np.int64),
-            entity_ids=tuple(profile.entity_id for profile in profiles),
+            entity_ids=tuple(entity_id for entity_id, _ in entries),
             side=side,
             pair_left=pair_left,
             pair_right=pair_right,
@@ -895,14 +957,16 @@ class MutableBlockIndex:
         return keys // stride, keys % stride
 
     def _register_entities_batch(
-        self, profiles: Sequence[EntityProfile], side: int
+        self, entity_ids: Sequence[str], side: int
     ) -> None:
         """Batch counterpart of :meth:`_register_entity` (one extend each)."""
-        n_new = len(profiles)
+        n_new = len(entity_ids)
         if n_new == 0:
             return
         base = self.num_slots
-        entity_ids = [profile.entity_id for profile in profiles]
+        if base + n_new > MAX_NODE_ID:
+            raise _node_id_overflow(base + n_new - 1)
+        entity_ids = list(entity_ids)
         self._entity_ids.extend(entity_ids)
         self._node_of_id.update(
             ((side, entity_id), base + offset)
@@ -949,6 +1013,7 @@ class MutableBlockIndex:
         node = self._node_of_id.get((side, entity_id))
         if node is None:
             raise UnknownEntityError(entity_id, side)
+        self._log_record({"op": "remove", "id": entity_id, "side": side})
 
         block_ids = np.array(
             self._indices[self._indptr[node] : self._indptr[node + 1]], copy=True
@@ -1013,8 +1078,39 @@ class MutableBlockIndex:
         UnknownEntityError
             When the entity is not currently live on ``side``.
         """
+        if self._wal is not None and not self._wal_suspended:
+            # one logical "update" record covers the inner remove + insert;
+            # validate and tokenize first so the log never holds a failing op
+            if side not in (0, 1):
+                raise ValueError("side must be 0 or 1")
+            if (side, profile.entity_id) not in self._node_of_id:
+                raise UnknownEntityError(profile.entity_id, side)
+            signatures = sorted(self.blocking.signatures_of(profile))
+            self._log_record(
+                {
+                    "op": "update",
+                    "id": profile.entity_id,
+                    "side": side,
+                    "sig": signatures,
+                }
+            )
+            return self._apply_update(profile.entity_id, side, signatures)
         retraction = self.remove_entity(profile.entity_id, side=side)
         insert = self.add_entity(profile, side=side)
+        return UpdateDelta(retraction=retraction, insert=insert)
+
+    def _apply_update(
+        self, entity_id: str, side: int, signatures: Sequence[str]
+    ) -> UpdateDelta:
+        """Update with pre-extracted signatures, without journaling the
+        inner remove/insert (the WAL replay entry point)."""
+        suspended = self._wal_suspended
+        self._wal_suspended = True
+        try:
+            retraction = self.remove_entity(entity_id, side=side)
+            insert = self._apply_insert(entity_id, side, signatures)
+        finally:
+            self._wal_suspended = suspended
         return UpdateDelta(retraction=retraction, insert=insert)
 
     # -- shared mutation helpers -----------------------------------------------
@@ -1026,6 +1122,8 @@ class MutableBlockIndex:
 
     def _register_entity(self, entity_id: str, side: int) -> int:
         node = self.num_slots
+        if node >= MAX_NODE_ID:
+            raise _node_id_overflow(node)
         self._entity_ids.append(entity_id)
         self._node_of_id[(side, entity_id)] = node
         self._sides.append(side)
@@ -1249,36 +1347,50 @@ class MutableBlockIndex:
         them the exact batch-equivalent finalisation — produce identical
         results before and after.  Raw node ids and registry positions are
         reassigned, which invalidates outstanding
-        :class:`InsertDelta`/:class:`RetractionDelta` references; compact
-        between mutation bursts, not between a mutation and the use of its
-        delta.
+        :class:`InsertDelta`/:class:`RetractionDelta` references *and* any
+        per-position state held by a live :class:`MatchingSession` — the
+        session detects this via :attr:`generation` and refuses stale
+        operations; call :meth:`MatchingSession.compact` instead, which
+        remaps its state.  An attached write-ahead log is retained and no
+        record is written: compaction does not change the logical state.
         """
+        wal = self._wal
+        generation = self.generation + 1
         fresh = MutableBlockIndex(
             blocking=self.blocking, bilateral=self.bilateral, name=self.name
         )
+        for side, entries in self._dump_live_entities().items():
+            if entries:
+                fresh._apply_bulk(entries, side)
+        self.__dict__.update(fresh.__dict__)
+        self._wal = wal
+        self._wal_suspended = False
+        self.generation = generation
+
+    def _dump_live_entities(self) -> Dict[int, List[Tuple[str, List[str]]]]:
+        """Live entities per side, in arrival order, with stored signatures.
+
+        Exactly the state :meth:`compact` replays; snapshots persist it so
+        recovery rebuilds through the same bulk path.
+        """
         sides = self._sides.view()
         indptr = self._indptr.view()
         indices = self._indices.view()
         block_keys = self._block_keys
+        dump: Dict[int, List[Tuple[str, List[str]]]] = {}
         for side in (0, 1) if self.bilateral else (0,):
             live = np.flatnonzero(sides == side)
-            if live.size == 0:
-                continue
-            profiles = [
-                EntityProfile(entity_id=self._entity_ids[int(node)])
-                for node in live
-            ]
-            signature_lists = [
-                [
-                    block_keys[int(block)]
-                    for block in indices[indptr[node] : indptr[node + 1]]
-                ]
+            dump[side] = [
+                (
+                    self._entity_ids[node],
+                    [
+                        block_keys[int(block)]
+                        for block in indices[indptr[node] : indptr[node + 1]]
+                    ],
+                )
                 for node in live.tolist()
             ]
-            fresh.blocking = _StoredSignatures(signature_lists)
-            fresh.add_entities_bulk(profiles, side=side)
-        fresh.blocking = self.blocking
-        self.__dict__.update(fresh.__dict__)
+        return dump
 
     # -- read-side structures --------------------------------------------------
     def csr(self) -> EntityBlockCSR:

@@ -101,6 +101,26 @@ class FrozenModel:
         )
 
 
+class StaleSessionError(RuntimeError):
+    """The session's index was compacted underneath it.
+
+    :meth:`MutableBlockIndex.compact` reassigns raw node ids and registry
+    positions; the per-position state a live session holds (insert-time
+    probabilities, online top-K queue items) becomes silently wrong.  The
+    session detects the generation bump and refuses further operations —
+    call :meth:`MatchingSession.compact`, which remaps its state, instead of
+    ``session.index.compact()``.
+    """
+
+    def __init__(self) -> None:
+        super().__init__(
+            "the session's index was compacted directly (index.compact()): "
+            "registry positions held by the online policy and the insert-time "
+            "probabilities are stale — compact through MatchingSession.compact(), "
+            "which remaps its per-position state"
+        )
+
+
 class OnlinePruningPolicy:
     """Decide, per mutation, which freshly scored pairs currently qualify."""
 
@@ -122,6 +142,28 @@ class OnlinePruningPolicy:
     def retract(self, probabilities: np.ndarray, positions: np.ndarray) -> None:
         """Evict retracted pairs (given their insert-time scores) from the
         online state.  The default is a no-op for stateless policies."""
+
+    # -- durability / compaction hooks -----------------------------------------
+    def export_state(self, key_of_position) -> dict:
+        """Position-independent state for snapshots.
+
+        ``key_of_position`` maps a live registry position to its canonical
+        packed pair key — the identity that survives compaction and
+        recovery.  Stateless policies export nothing.
+        """
+        return {}
+
+    def restore_state(self, state: dict, position_of_key) -> None:
+        """Restore :meth:`export_state` output onto a rebuilt index, where
+        ``position_of_key`` maps a canonical packed key back to the rebuilt
+        registry position."""
+
+    def remap_positions(self, remap: dict) -> None:
+        """Rewrite held registry positions after a session-safe compaction.
+
+        ``remap`` maps each old live position to ``(new_position, key)``.
+        Policies that hold no positions ignore it.
+        """
 
 
 class OnlineWEP(OnlinePruningPolicy):
@@ -167,6 +209,13 @@ class OnlineWEP(OnlinePruningPolicy):
             # float residue behind an empty aggregate
             self._valid_sum = 0.0
             self._valid_count = 0
+
+    def export_state(self, key_of_position) -> dict:
+        return {"valid_sum": self._valid_sum, "valid_count": self._valid_count}
+
+    def restore_state(self, state: dict, position_of_key) -> None:
+        self._valid_sum = float(state["valid_sum"])
+        self._valid_count = int(state["valid_count"])
 
 
 class OnlineTopK(OnlinePruningPolicy):
@@ -214,6 +263,33 @@ class OnlineTopK(OnlinePruningPolicy):
     def retract(self, probabilities: np.ndarray, positions: np.ndarray) -> None:
         for position in positions.tolist():
             self._queue.discard(int(position))
+
+    def export_state(self, key_of_position) -> dict:
+        """The retained (weight, canonical key) pairs, strongest first.
+
+        The retained set of a :class:`BoundedTopQueue` is a pure function of
+        the (weight, key) multiset, so serializing by canonical key makes
+        the state independent of insertion order and registry positions.
+        """
+        return {
+            "items": [
+                (float(weight), int(key_of_position(int(position))))
+                for weight, position in self._queue.weighted_items()
+            ]
+        }
+
+    def restore_state(self, state: dict, position_of_key) -> None:
+        queue: BoundedTopQueue[int] = BoundedTopQueue(self._queue.capacity)
+        for weight, key in state["items"]:
+            queue.push(float(weight), int(position_of_key(int(key))), key=int(key))
+        self._queue = queue
+
+    def remap_positions(self, remap: dict) -> None:
+        queue: BoundedTopQueue[int] = BoundedTopQueue(self._queue.capacity)
+        for weight, position in self._queue.weighted_items():
+            new_position, key = remap[int(position)]
+            queue.push(float(weight), int(new_position), key=int(key))
+        self._queue = queue
 
 
 def _resolve_online_policy(
@@ -336,6 +412,20 @@ class MatchingSession:
         :class:`OnlinePruningPolicy` instance.
     top_k:
         Budget for the ``"topk"`` policy.
+    wal_path:
+        Optional directory for a write-ahead log.  Every mutation is
+        journaled before it is applied and a full session snapshot (frozen
+        model, online-policy state, insert-time probabilities) is written on
+        construction and every ``snapshot_every`` mutations, so a crashed
+        session resumes with :meth:`MatchingSession.recover` at identical
+        thresholds.  The directory must be empty — recovering into an
+        existing log goes through :meth:`recover`.
+    snapshot_every:
+        Mutations between automatic checkpoints (``None`` = only explicit
+        :meth:`checkpoint` calls).
+    wal_sync:
+        ``"always"`` (fsync per record, the durability default) or
+        ``"batch"`` (fsync on checkpoint/close only).
     """
 
     def __init__(
@@ -346,6 +436,9 @@ class MatchingSession:
         pruning: Union[str, SupervisedPruningAlgorithm] = "BLAST",
         online: Union[str, OnlinePruningPolicy, None] = "wep",
         top_k: int = 1000,
+        wal_path=None,
+        snapshot_every: Optional[int] = None,
+        wal_sync: str = "always",
     ) -> None:
         self.model = model
         self.index = MutableBlockIndex(blocking=blocking, bilateral=bilateral)
@@ -357,6 +450,26 @@ class MatchingSession:
         #: probability of every registry position at the time it was inserted
         #: (provisional; retracted positions keep their last score)
         self._insert_probabilities = _Growable(np.float64, capacity=1024)
+        self._top_k = top_k
+        self._generation = self.index.generation
+        self._snapshot_every = snapshot_every
+        self._ops_since_snapshot = 0
+        self.wal = None
+        if wal_path is not None:
+            from ..persistence.log import WriteAheadLog
+
+            wal = WriteAheadLog(wal_path, sync=wal_sync)
+            if not wal.is_empty():
+                raise ValueError(
+                    f"WAL directory {wal.path} already holds a log or snapshots; "
+                    "resume it with MatchingSession.recover() instead of "
+                    "opening a fresh session over it"
+                )
+            self.index.attach_wal(wal)
+            self.wal = wal
+            # an immediate checkpoint persists the frozen model, so recovery
+            # always finds a session snapshot to restore thresholds from
+            self.checkpoint()
 
     # -- introspection ---------------------------------------------------------
     @property
@@ -375,9 +488,27 @@ class MatchingSession:
         return self._insert_probabilities.view().copy()
 
     # -- streaming -------------------------------------------------------------
+    def _check_generation(self) -> None:
+        if self._generation != self.index.generation:
+            raise StaleSessionError()
+
+    def _count_op(self) -> None:
+        if self.wal is None or self._snapshot_every is None:
+            return
+        self._ops_since_snapshot += 1
+        if self._ops_since_snapshot >= self._snapshot_every:
+            self.checkpoint()
+
     def insert(self, profile: EntityProfile, side: int = 0) -> InsertResult:
         """Insert one entity; return its scored + online-pruned matches."""
+        self._check_generation()
         delta = self.index.add_entity(profile, side=side)
+        result = self._score_insert(delta)
+        self._count_op()
+        return result
+
+    def _score_insert(self, delta) -> InsertResult:
+        """Score one insert delta and fold it into the online state."""
         matrix = self.features.generate_delta(delta)
         probabilities = self.model.score(matrix.values)
         self._insert_probabilities.extend(probabilities)
@@ -423,7 +554,14 @@ class MatchingSession:
         thresholding any of them, where sequential inserts would threshold
         each pair against the average as of its own arrival.
         """
+        self._check_generation()
         delta = self.index.add_entities_bulk(profiles, side=side)
+        result = self._score_bulk(delta)
+        self._count_op()
+        return result
+
+    def _score_bulk(self, delta) -> BulkInsertResult:
+        """Score one bulk delta and fold it into the online state."""
         candidates = self.index.bulk_candidate_set(delta)
         matrix = self.features.generate(candidates)
         probabilities = self.model.score(matrix.values)
@@ -447,9 +585,10 @@ class MatchingSession:
             When the entity is not currently live on ``side``; neither the
             index nor the online aggregates are touched.
         """
+        self._check_generation()
         retraction = self.index.remove_entity(entity_id, side=side)
         self._retract_from_online(retraction)
-        return RemovalResult(
+        result = RemovalResult(
             entity_id=retraction.entity_id,
             node=retraction.node,
             num_retracted_pairs=retraction.num_retracted_pairs,
@@ -457,6 +596,8 @@ class MatchingSession:
                 self.index.entity_id(int(node)) for node in retraction.counterparts
             ),
         )
+        self._count_op()
+        return result
 
     def update(self, profile: EntityProfile, side: int = 0) -> UpdateResult:
         """Correct a live entity in place: retract it, then re-insert the new
@@ -478,6 +619,142 @@ class MatchingSession:
         scores = self._insert_probabilities.view()[positions].copy()
         self.online.retract(scores, positions)
 
+    # -- durability ------------------------------------------------------------
+    def checkpoint(self):
+        """Write a full session snapshot into the WAL directory.
+
+        The snapshot embeds the current log offset; recovery loads it and
+        replays only the records behind it.  Returns the snapshot path.
+        """
+        if self.wal is None:
+            raise RuntimeError(
+                "the session has no write-ahead log; construct it with wal_path="
+            )
+        self._check_generation()
+        from ..persistence.snapshot import session_snapshot_state
+
+        path = self.wal.write_snapshot(session_snapshot_state(self))
+        self._ops_since_snapshot = 0
+        return path
+
+    def close(self) -> None:
+        """Fsync and close the session's log, if any."""
+        if self.wal is not None:
+            self.wal.close()
+
+    @classmethod
+    def recover(cls, path, sync: str = "always") -> "MatchingSession":
+        """Resume a WAL-backed session after a crash.
+
+        Loads the newest session snapshot, rebuilds the index, restores the
+        online policy's thresholds and the insert-time probabilities, replays
+        the surviving log tail through the frozen model, truncates any torn
+        tail record and resumes journaling — the recovered session's exact
+        answer (:meth:`retained`) and admission thresholds equal the
+        uninterrupted run's at the last durable record.
+        """
+        from ..persistence.recovery import recover_session
+
+        return recover_session(path, sync=sync)
+
+    @classmethod
+    def _from_parts(
+        cls,
+        model: FrozenModel,
+        index: MutableBlockIndex,
+        pruning,
+        online: OnlinePruningPolicy,
+        top_k: int,
+        snapshot_every: Optional[int],
+    ) -> "MatchingSession":
+        """Assemble a session around an already-built index (recovery path)."""
+        session = cls.__new__(cls)
+        session.model = model
+        session.index = index
+        session.features = DeltaFeatureGenerator(index, model.feature_set)
+        session.pruning = pruning
+        session.online = online
+        session._insert_probabilities = _Growable(np.float64, capacity=1024)
+        session._top_k = top_k
+        session._generation = index.generation
+        session._snapshot_every = snapshot_every
+        session._ops_since_snapshot = 0
+        session.wal = None
+        return session
+
+    def _replay_record(self, record: dict) -> None:
+        """Re-apply one logged mutation through the scoring path.
+
+        Replay feeds the record's stored signatures to the index's
+        ``_apply_*`` entry points (no re-tokenization) and re-scores the
+        resulting deltas with the frozen model — deterministic, so the
+        replayed online state matches the original run's.
+        """
+        op = record["op"]
+        if op == "meta":
+            return
+        if op == "add":
+            self._score_insert(
+                self.index._apply_insert(record["id"], record["side"], record["sig"])
+            )
+        elif op == "bulk":
+            self._score_bulk(
+                self.index._apply_bulk(
+                    [(entity_id, signatures) for entity_id, signatures in record["entities"]],
+                    record["side"],
+                )
+            )
+        elif op == "remove":
+            retraction = self.index.remove_entity(record["id"], side=record["side"])
+            self._retract_from_online(retraction)
+        elif op == "update":
+            retraction = self.index.remove_entity(record["id"], side=record["side"])
+            self._retract_from_online(retraction)
+            self._score_insert(
+                self.index._apply_insert(record["id"], record["side"], record["sig"])
+            )
+        else:
+            raise ValueError(f"unknown WAL record op {op!r}")
+
+    # -- compaction ------------------------------------------------------------
+    def compact(self) -> None:
+        """Compact the index *and* remap the session's per-position state.
+
+        :meth:`MutableBlockIndex.compact` reassigns registry positions; this
+        wrapper snapshots the live positions' canonical pair keys first,
+        compacts, then rewrites the insert-time probabilities and the online
+        policy's held positions onto the rebuilt registry (sorted by packed
+        key — exactly the rebuilt order).  Thresholds are unchanged: the
+        online state is the same multiset of (weight, pair) under new
+        positions.
+        """
+        self._check_generation()
+        from ..persistence.snapshot import canonical_pair_keys
+
+        index = self.index
+        positions, keys = canonical_pair_keys(index)
+        probabilities = self._insert_probabilities.view()[positions].copy()
+        order = np.argsort(keys)
+        index.compact()
+        sorted_keys = keys[order]
+        if index.num_registered_pairs != positions.size or not np.array_equal(
+            index._pair_keys.view(), sorted_keys
+        ):
+            raise RuntimeError(
+                "compaction did not rebuild the expected pair registry; the "
+                "session state cannot be remapped"
+            )
+        self._insert_probabilities = _Growable(np.float64, capacity=1024)
+        self._insert_probabilities.extend(probabilities[order])
+        remap = {
+            int(old): (int(new), int(key))
+            for new, (old, key) in enumerate(
+                zip(positions[order].tolist(), sorted_keys.tolist())
+            )
+        }
+        self.online.remap_positions(remap)
+        self._generation = index.generation
+
     # -- exact finalisation ----------------------------------------------------
     def retained(self) -> SessionResult:
         """The exact answer on the live streamed collection.
@@ -490,6 +767,7 @@ class MatchingSession:
         the same final collection, for every pruning algorithm including
         CEP/CNP/RCNP.
         """
+        self._check_generation()
         candidates, matrix = self.features.generate_all()
         probabilities = self.model.score(matrix.values)
         if len(candidates) == 0:

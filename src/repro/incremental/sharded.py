@@ -50,41 +50,12 @@ from ..weights.sparse import (
     compute_pair_cooccurrence,
     entity_block_csr_from_memberships,
 )
-from .index import MutableBlockIndex, pack_pair_keys
-
-
-class _RoutedSignatures(BlockingMethod):
-    """Serves shard-filtered signatures staged by the sharded router.
-
-    Each shard's :class:`MutableBlockIndex` tokenizes through this object;
-    the router tokenizes the input once, filters per shard, and stages the
-    result immediately before forwarding the mutation — so K shards never
-    re-tokenize the same profile K times.
-    """
-
-    name = "routed-signatures"
-
-    def __init__(self) -> None:
-        self._staged_set = None
-        self._staged_lists = None
-
-    def stage_set(self, signatures) -> None:
-        self._staged_set = signatures
-
-    def stage_lists(self, signature_lists) -> None:
-        self._staged_lists = signature_lists
-
-    def signatures_of(self, profile: EntityProfile):
-        staged, self._staged_set = self._staged_set, None
-        if staged is None:
-            raise RuntimeError("no signatures staged for this shard mutation")
-        return staged
-
-    def signature_lists(self, collection):
-        staged, self._staged_lists = self._staged_lists, None
-        if staged is None:
-            raise RuntimeError("no signature lists staged for this shard mutation")
-        return staged
+from .index import (
+    DuplicateEntityError,
+    MutableBlockIndex,
+    UnknownEntityError,
+    pack_pair_keys,
+)
 
 
 class ShardedStatistics:
@@ -190,17 +161,50 @@ class ShardedMutableBlockIndex:
         self.num_shards = num_shards
         self.name = name
         self.executor = executor
-        self._routers = [_RoutedSignatures() for _ in range(num_shards)]
         self.shards: List[MutableBlockIndex] = [
             MutableBlockIndex(
-                blocking=router, bilateral=bilateral, name=f"{name}#{shard}"
+                blocking=self.blocking, bilateral=bilateral, name=f"{name}#{shard}"
             )
-            for shard, router in enumerate(self._routers)
+            for shard in range(num_shards)
         ]
         # merged-pair cache, invalidated by every mutation (the merge is an
         # O(P log P) union across shards — too costly per num_pairs read)
         self._mutations = 0
         self._pairs_cache: Optional[Tuple[int, np.ndarray, np.ndarray]] = None
+        self._wal = None
+
+    # -- durability --------------------------------------------------------------
+    @property
+    def generation(self) -> int:
+        """Compaction generation (identical in every shard)."""
+        return self.shards[0].generation
+
+    def attach_wal(self, wal) -> None:
+        """Journal every mutation of this router to ``wal``.
+
+        The sharded index keeps **one** log at the router level — shards
+        never journal (their ``_wal`` stays ``None``), so each logical
+        operation appears exactly once.  A fresh log receives a meta record
+        describing the topology so recovery can rebuild the router before
+        any snapshot exists.
+        """
+        wal.open()
+        if wal.is_fresh:
+            wal.append_record(
+                {
+                    "op": "meta",
+                    "format": 1,
+                    "kind": "sharded",
+                    "bilateral": self.bilateral,
+                    "num_shards": self.num_shards,
+                    "name": self.name,
+                }
+            )
+        self._wal = wal
+
+    def _log_record(self, record) -> None:
+        if self._wal is not None:
+            self._wal.append_record(record)
 
     # -- routing helpers ---------------------------------------------------------
     def _split_signatures(self, signatures) -> List[List[str]]:
@@ -210,6 +214,14 @@ class ShardedMutableBlockIndex:
         for signature in signatures:
             split[shard_of_signature(signature, self.num_shards)].append(signature)
         return split
+
+    def _shards_of(self, signatures) -> List[int]:
+        """The shards an operation's signatures route to (log observability)."""
+        from ..parallel.planner import shard_of_signature
+
+        return sorted(
+            {shard_of_signature(signature, self.num_shards) for signature in signatures}
+        )
 
     def _tokenize_bulk(self, profiles: Sequence[EntityProfile]) -> List[List[str]]:
         if self.executor is not None and self.executor.workers > 1 and len(profiles) > 1:
@@ -231,13 +243,31 @@ class ShardedMutableBlockIndex:
     # -- mutations ---------------------------------------------------------------
     def add_entity(self, profile: EntityProfile, side: int = 0):
         """Insert one entity into every shard; returns the per-shard deltas."""
+        self.shards[0]._check_side(side)
+        if self.shards[0].has_entity(profile.entity_id, side=side):
+            raise DuplicateEntityError(profile.entity_id, side)
+        signatures = sorted(self.blocking.signatures_of(profile))
+        if self._wal is not None:
+            self._log_record(
+                {
+                    "op": "add",
+                    "id": profile.entity_id,
+                    "side": side,
+                    "sig": signatures,
+                    "shards": self._shards_of(signatures),
+                }
+            )
+        return self._apply_insert(profile.entity_id, side, signatures)
+
+    def _apply_insert(self, entity_id: str, side: int, signatures):
+        """Insert with pre-extracted signatures: tokenize never, split per
+        shard, forward to each shard's replay entry point."""
         self._mutations += 1
-        split = self._split_signatures(self.blocking.signatures_of(profile))
-        deltas = []
-        for router, shard, signatures in zip(self._routers, self.shards, split):
-            router.stage_set(set(signatures))
-            deltas.append(shard.add_entity(profile, side=side))
-        return deltas
+        split = self._split_signatures(signatures)
+        return [
+            shard._apply_insert(entity_id, side, split[position])
+            for position, shard in enumerate(self.shards)
+        ]
 
     def add_entities(self, profiles, side: int = 0):
         """Insert several entities one at a time (per-shard delta lists)."""
@@ -247,46 +277,111 @@ class ShardedMutableBlockIndex:
         """One-pass bulk load: tokenize once (optionally across workers),
         then one per-shard bulk insert each; returns the per-shard deltas."""
         profiles = list(profiles)
-        self._mutations += 1
+        self.shards[0]._check_side(side)
+        seen_batch = set()
+        for profile in profiles:
+            if self.shards[0].has_entity(profile.entity_id, side=side):
+                raise DuplicateEntityError(profile.entity_id, side)
+            if profile.entity_id in seen_batch:
+                raise DuplicateEntityError(profile.entity_id, side)
+            seen_batch.add(profile.entity_id)
         signature_lists = self._tokenize_bulk(profiles)
-        per_shard: List[List[List[str]]] = [
-            [None] * len(profiles) for _ in range(self.num_shards)
+        entries = [
+            (profile.entity_id, list(signatures))
+            for profile, signatures in zip(profiles, signature_lists)
         ]
-        for position, signatures in enumerate(signature_lists):
+        if self._wal is not None:
+            self._log_record({"op": "bulk", "side": side, "entities": entries})
+        return self._apply_bulk(entries, side)
+
+    def _apply_bulk(self, entries, side: int):
+        """Bulk-insert pre-tokenized ``(entity_id, signatures)`` entries."""
+        self._mutations += 1
+        per_shard: List[List[Tuple[str, List[str]]]] = [
+            [] for _ in range(self.num_shards)
+        ]
+        for entity_id, signatures in entries:
             split = self._split_signatures(signatures)
-            for shard in range(self.num_shards):
-                per_shard[shard][position] = split[shard]
-        deltas = []
-        for router, shard_index, lists in zip(self._routers, self.shards, per_shard):
-            router.stage_lists(lists)
-            deltas.append(shard_index.add_entities_bulk(profiles, side=side))
-        return deltas
+            for position in range(self.num_shards):
+                per_shard[position].append((entity_id, split[position]))
+        return [
+            shard._apply_bulk(per_shard[position], side)
+            for position, shard in enumerate(self.shards)
+        ]
 
     def remove_entity(self, entity_id: str, side: int = 0):
         """Retract one entity from every shard; returns the per-shard deltas."""
+        if not self.shards[0].has_entity(entity_id, side=side):
+            raise UnknownEntityError(entity_id, side)
+        self._log_record({"op": "remove", "id": entity_id, "side": side})
+        return self._apply_remove(entity_id, side)
+
+    def _apply_remove(self, entity_id: str, side: int):
         self._mutations += 1
         return [shard.remove_entity(entity_id, side=side) for shard in self.shards]
 
     def update_entity(self, profile: EntityProfile, side: int = 0):
         """Correct one entity in place in every shard (retract + re-insert)."""
+        self.shards[0]._check_side(side)
+        if not self.shards[0].has_entity(profile.entity_id, side=side):
+            raise UnknownEntityError(profile.entity_id, side)
+        signatures = sorted(self.blocking.signatures_of(profile))
+        if self._wal is not None:
+            self._log_record(
+                {
+                    "op": "update",
+                    "id": profile.entity_id,
+                    "side": side,
+                    "sig": signatures,
+                    "shards": self._shards_of(signatures),
+                }
+            )
+        return self._apply_update(profile.entity_id, side, signatures)
+
+    def _apply_update(self, entity_id: str, side: int, signatures):
         self._mutations += 1
-        split = self._split_signatures(self.blocking.signatures_of(profile))
-        deltas = []
-        for router, shard, signatures in zip(self._routers, self.shards, split):
-            router.stage_set(set(signatures))
-            deltas.append(shard.update_entity(profile, side=side))
-        return deltas
+        split = self._split_signatures(signatures)
+        return [
+            shard._apply_update(entity_id, side, split[position])
+            for position, shard in enumerate(self.shards)
+        ]
 
     def compact(self) -> None:
         """Compact every shard (see :meth:`MutableBlockIndex.compact`).
 
         Shards rebuild their live entities in the same arrival order, so
         node ids stay aligned across shards and the canonical view is
-        unchanged.
+        unchanged.  The router's log (if any) is untouched — compaction does
+        not change the logical state.
         """
         self._mutations += 1  # raw node ids are renumbered — drop the cache
         for shard in self.shards:
             shard.compact()
+
+    def _dump_live_entities(self):
+        """Live entities per side with their signatures merged across shards
+        (shard-major per entity) — the sharded snapshot state.
+
+        Every shard registers every entity in the same order, so per-side
+        dumps align positionally; re-splitting the merged signature list on
+        rebuild routes each signature back to its original shard in its
+        original order.
+        """
+        dumps = [shard._dump_live_entities() for shard in self.shards]
+        merged = {}
+        for side, entries in dumps[0].items():
+            merged[side] = [
+                (
+                    entity_id,
+                    [
+                        signature
+                        for dump in dumps
+                        for signature in dump[side][position][1]
+                    ],
+                )
+                for position, (entity_id, _) in enumerate(entries)
+            ]
+        return merged
 
     # -- aggregate contract ------------------------------------------------------
     @property

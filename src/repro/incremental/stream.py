@@ -216,6 +216,9 @@ def replay_stream(
     limit: Optional[int] = None,
     delete_fraction: float = 0.0,
     churn_seed: SeedLike = 0,
+    wal_path=None,
+    snapshot_every: Optional[int] = None,
+    wal_sync: str = "always",
 ) -> StreamReplay:
     """Stream a Clean-Clean dataset through a fresh matching session.
 
@@ -229,11 +232,26 @@ def replay_stream(
     churn_seed:
         Seed for the churn decisions, so delete-heavy replays are exactly
         reproducible.
+    wal_path:
+        Optional write-ahead-log directory; the replayed session journals
+        every mutation and can be resumed with
+        :meth:`MatchingSession.recover` (``repro stream --wal``).
+    snapshot_every:
+        Mutations between automatic session checkpoints when journaling.
+    wal_sync:
+        ``"always"`` or ``"batch"`` (see :class:`MatchingSession`).
     """
     if not 0.0 <= delete_fraction < 1.0:
         raise ValueError("delete_fraction must be in [0, 1)")
     session = MatchingSession(
-        model, bilateral=True, pruning=pruning, online=online, top_k=top_k
+        model,
+        bilateral=True,
+        pruning=pruning,
+        online=online,
+        top_k=top_k,
+        wal_path=wal_path,
+        snapshot_every=snapshot_every,
+        wal_sync=wal_sync,
     )
     rng = make_rng(churn_seed)
     seconds: List[float] = []

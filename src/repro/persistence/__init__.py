@@ -1,0 +1,49 @@
+"""WAL-backed durability for the streaming index (paper Section 6 outlook).
+
+``repro.persistence`` journals every :class:`~repro.incremental.MutableBlockIndex`
+mutation to a write-ahead log (length+CRC32 framed logical records,
+append-before-apply, fsync-on-commit), snapshots the compacted live state
+periodically, and recovers by loading the newest complete snapshot and
+replaying the log tail to the last complete record — so a crash at any
+byte offset loses at most the torn tail record and never the prefix.
+
+See :class:`WriteAheadLog` for the format, :func:`recover_index` /
+:func:`recover_session` for the drivers, and the README's "Durability &
+recovery" section for the guarantees.
+"""
+
+from .log import (
+    LOG_MAGIC,
+    SNAPSHOT_MAGIC,
+    WalRecord,
+    WalScan,
+    WriteAheadLog,
+    encode_record,
+)
+from .recovery import apply_logged_record, recover_index, recover_session
+from .snapshot import (
+    build_index_from_state,
+    canonical_pair_keys,
+    construct_index,
+    dump_index_state,
+    session_snapshot_state,
+    write_index_snapshot,
+)
+
+__all__ = [
+    "LOG_MAGIC",
+    "SNAPSHOT_MAGIC",
+    "WalRecord",
+    "WalScan",
+    "WriteAheadLog",
+    "encode_record",
+    "apply_logged_record",
+    "recover_index",
+    "recover_session",
+    "build_index_from_state",
+    "canonical_pair_keys",
+    "construct_index",
+    "dump_index_state",
+    "session_snapshot_state",
+    "write_index_snapshot",
+]

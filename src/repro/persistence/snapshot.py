@@ -1,0 +1,158 @@
+"""Snapshot state codecs for the streaming index and matching session.
+
+A snapshot is the compacted logical state of an index: its *live* entities
+per side, each with the stored signatures (block keys) of its CSR row —
+exactly what :meth:`MutableBlockIndex.compact` replays through the bulk
+loader.  Rebuilding from a snapshot therefore goes through the same
+``_apply_bulk`` path compaction uses, which guarantees the canonical view
+(canonical candidates, snapshot blocks, aggregates) of the rebuilt index
+equals the original's.
+
+The rebuild has one further property this module (and the session codec)
+leans on: a per-side bulk load assigns raw node ids equal to the canonical
+ids, and registers the candidate pairs sorted by packed pair key.  Stored
+per-pair state (insert-time probabilities, online top-K membership) is
+therefore serialized keyed by *canonical packed pair key* — position-
+independent — and lands back on the right registry positions by rank in
+the sorted key array.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Tuple
+
+import numpy as np
+
+from ..incremental.index import MutableBlockIndex, pack_pair_keys
+from ..incremental.sharded import ShardedMutableBlockIndex
+from .log import WriteAheadLog
+
+#: snapshot/meta record state format version
+STATE_FORMAT = 1
+
+
+def dump_index_state(index) -> Dict[str, Any]:
+    """The logical state of an index: topology plus live entities per side."""
+    sharded = isinstance(index, ShardedMutableBlockIndex)
+    return {
+        "kind": "sharded" if sharded else "index",
+        "bilateral": index.bilateral,
+        "name": index.name,
+        "num_shards": index.num_shards if sharded else None,
+        "blocking": index.blocking,
+        "sides": index._dump_live_entities(),
+    }
+
+
+def construct_index(
+    state: Dict[str, Any], blocking=None, executor=None
+):
+    """An empty index matching a state/meta dict's topology.
+
+    ``state`` may be a snapshot's ``"index"`` dict or a WAL meta record;
+    both carry ``kind``/``bilateral``/``num_shards``.  ``blocking``
+    overrides the stored extractor (meta records, being JSON, never store
+    one — the default token blocking is used).
+    """
+    if blocking is None:
+        blocking = state.get("blocking")
+    name = state.get("name") or "stream"
+    if state["kind"] == "sharded":
+        return ShardedMutableBlockIndex(
+            blocking=blocking,
+            bilateral=state["bilateral"],
+            num_shards=int(state["num_shards"]),
+            name=name,
+            executor=executor,
+        )
+    if state["kind"] != "index":
+        raise ValueError(f"unknown index kind {state['kind']!r} in WAL state")
+    return MutableBlockIndex(
+        blocking=blocking, bilateral=state["bilateral"], name=name
+    )
+
+
+def build_index_from_state(
+    state: Dict[str, Any], blocking=None, executor=None
+):
+    """Rebuild an index from a snapshot state dict.
+
+    Live entities are bulk-loaded per side (side 0 first) from their stored
+    signatures — the compaction path — so the rebuilt index's canonical
+    view equals the dumped one, with raw node ids equal to canonical ids
+    and the pair registry sorted by packed key.
+    """
+    index = construct_index(state, blocking=blocking, executor=executor)
+    for side in sorted(state["sides"]):
+        entries = state["sides"][side]
+        if entries:
+            index._apply_bulk(entries, int(side))
+    return index
+
+
+def write_index_snapshot(index, wal: WriteAheadLog):
+    """Snapshot an index's live state into the WAL directory.
+
+    Embeds the current log offset, so recovery replays only records behind
+    it.  Call between mutations (never mid-operation); with ``sync="batch"``
+    the offset may run ahead of the fsynced log tail — recovery then
+    prefers the (durable, consistent) snapshot.
+    """
+    return wal.write_snapshot(
+        {
+            "format": STATE_FORMAT,
+            "log_offset": wal.log_offset,
+            "index": dump_index_state(index),
+            "session": None,
+        }
+    )
+
+
+# -- session state -----------------------------------------------------------------
+
+def canonical_pair_keys(index) -> Tuple[np.ndarray, np.ndarray]:
+    """Registry positions of the live pairs and their canonical packed keys.
+
+    The keys are computed over canonical node ids, so they are invariant
+    under compaction and snapshot rebuilds — the stable identity per-pair
+    session state is serialized under.
+    """
+    alive = index._pair_alive.view()
+    positions = np.flatnonzero(alive)
+    canonical = index.canonical_node_ids()
+    left = canonical[index._pair_left.view()[positions]]
+    right = canonical[index._pair_right.view()[positions]]
+    keys = pack_pair_keys(np.minimum(left, right), np.maximum(left, right))
+    return positions, keys
+
+
+def session_snapshot_state(session) -> Dict[str, Any]:
+    """The full durable state of a :class:`MatchingSession`.
+
+    Index state plus the frozen model, the batch pruning algorithm, the
+    online policy (object + position-independent state) and the insert-time
+    probabilities keyed by canonical pair key (stored sorted by key, which
+    is exactly the rebuilt registry order).
+    """
+    index = session.index
+    positions, keys = canonical_pair_keys(index)
+    order = np.argsort(keys)
+    probabilities = session._insert_probabilities.view()[positions][order].copy()
+    key_of = dict(zip(positions.tolist(), keys.tolist()))
+    return {
+        "format": STATE_FORMAT,
+        "log_offset": session.wal.log_offset,
+        "index": dump_index_state(index),
+        "session": {
+            "model": session.model,
+            "pruning": session.pruning,
+            "policy": session.online,
+            "policy_state": session.online.export_state(
+                lambda position: key_of[int(position)]
+            ),
+            "probabilities": probabilities,
+            "pair_keys": keys[order].copy(),
+            "top_k": session._top_k,
+            "snapshot_every": session._snapshot_every,
+        },
+    }

@@ -468,3 +468,57 @@ class TestUnilateralIndex:
         for node in range(index.num_entities):
             row = csr.indices[csr.indptr[node] : csr.indptr[node + 1]]
             assert np.all(np.diff(row) > 0)
+
+
+class TestPairKeyOverflow:
+    """Node ids at or past 2^32 must raise instead of silently colliding.
+
+    ``pack_pair_keys`` packs a pair as ``left << 32 | right``; ids past the
+    32-bit bound would alias other pairs' keys and silently corrupt the
+    candidate registry (the regression this class pins down).
+    """
+
+    def test_scalar_pack_raises_at_the_bound(self):
+        from repro.incremental.index import _pack_pair
+
+        assert _pack_pair((1 << 32) - 1, 5) > 0
+        with pytest.raises(OverflowError, match="2\\^32"):
+            _pack_pair(1 << 32, 5)
+        with pytest.raises(OverflowError, match="compact"):
+            _pack_pair(5, 1 << 32)
+
+    def test_vectorized_pack_raises_at_the_bound(self):
+        from repro.incremental.index import pack_pair_keys
+
+        ok = pack_pair_keys(
+            np.array([0, (1 << 32) - 1]), np.array([1, (1 << 32) - 1])
+        )
+        assert ok.dtype == np.int64 and ok.size == 2
+        with pytest.raises(OverflowError, match="2\\^32"):
+            pack_pair_keys(np.array([1 << 32]), np.array([5]))
+        with pytest.raises(OverflowError):
+            pack_pair_keys(np.array([5]), np.array([1 << 32, 7]))
+
+    def test_insert_path_raises_with_forged_large_node_ids(self, monkeypatch):
+        """An index whose slot counter reached 2^32 refuses further inserts."""
+        index = MutableBlockIndex(bilateral=False)
+        index.add_entity(make_profile("d1", text="alpha"))
+        monkeypatch.setattr(
+            MutableBlockIndex,
+            "num_slots",
+            property(lambda self: 1 << 32),
+        )
+        with pytest.raises(OverflowError, match="compact"):
+            index.add_entity(make_profile("d2", text="alpha"))
+
+    def test_bulk_path_raises_when_the_batch_crosses_the_bound(self, monkeypatch):
+        index = MutableBlockIndex(bilateral=False)
+        monkeypatch.setattr(
+            MutableBlockIndex,
+            "num_slots",
+            property(lambda self: (1 << 32) - 1),
+        )
+        with pytest.raises(OverflowError, match="2\\^32"):
+            index.add_entities_bulk(
+                [make_profile("d1", text="alpha"), make_profile("d2", text="alpha")]
+            )

@@ -1,0 +1,162 @@
+"""Deterministic tests for WAL-backed :class:`MatchingSession` recovery.
+
+A session opened with ``wal_path=`` journals every mutation and snapshots
+its full state (frozen model, online-policy aggregates, insert-time
+probabilities).  Recovery must resume with the identical exact answer and
+identical online admission thresholds, then keep streaming in lock-step
+with the uninterrupted session.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import FeatureVectorGenerator
+from repro.datamodel import make_profile
+from repro.incremental import FrozenModel, MatchingSession
+from repro.persistence import canonical_pair_keys
+
+FEATURE_SET = ("CBS", "JS", "RS")
+
+
+class _FixedLogistic:
+    """Deterministic frozen 'classifier' (rounded so replayed scores are
+    bit-identical to the original run's)."""
+
+    def __init__(self, n_features: int) -> None:
+        self._weights = np.linspace(-1.0, 1.0, n_features)
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        z = np.clip(features @ self._weights, -30.0, 30.0)
+        return np.round(1.0 / (1.0 + np.exp(-z)), 9)
+
+
+def _frozen_model() -> FrozenModel:
+    width = FeatureVectorGenerator(FEATURE_SET).columns
+    return FrozenModel(
+        classifier=_FixedLogistic(len(width)), scaler=None, feature_set=FEATURE_SET
+    )
+
+
+def _profiles(n, prefix):
+    return [
+        make_profile(f"{prefix}{i}", t=f"tok{i % 5} tok{i % 3} common w{i % 7}")
+        for i in range(n)
+    ]
+
+
+def _live_probabilities(session):
+    """Insert-time probabilities of the live pairs, sorted by canonical key."""
+    positions, keys = canonical_pair_keys(session.index)
+    order = np.argsort(keys)
+    return keys[order], session._insert_probabilities.view()[positions][order]
+
+
+def _stream(session):
+    profiles = _profiles(14, "a")
+    session.insert_bulk(profiles[:6])
+    for profile in profiles[6:12]:
+        session.insert(profile)
+    session.remove("a3")
+    session.update(make_profile("a4", t="tok9 common"))
+    session.insert(profiles[12])
+    session.insert(profiles[13])
+
+
+@pytest.mark.parametrize("policy", ["wep", "topk"])
+def test_recovered_session_resumes_identically(tmp_path, policy):
+    session = MatchingSession(
+        _frozen_model(),
+        online=policy,
+        top_k=10,
+        wal_path=tmp_path / "wal",
+        snapshot_every=6,
+    )
+    _stream(session)
+    expected = session.retained().retained_id_set()
+    threshold = session.online.threshold
+    session.close()
+
+    recovered = MatchingSession.recover(tmp_path / "wal")
+    assert recovered.retained().retained_id_set() == expected
+    assert recovered.online.threshold == pytest.approx(threshold, abs=1e-12)
+    keys_live, probs_live = _live_probabilities(session)
+    keys_rec, probs_rec = _live_probabilities(recovered)
+    assert np.array_equal(keys_live, keys_rec)
+    assert np.allclose(probs_live, probs_rec)
+
+    # both sessions keep streaming in lock-step
+    for profile in _profiles(4, "b"):
+        session.insert(profile)
+        recovered.insert(profile)
+    session.remove("b1")
+    recovered.remove("b1")
+    assert recovered.retained().retained_id_set() == session.retained().retained_id_set()
+    assert recovered.online.threshold == pytest.approx(
+        session.online.threshold, abs=1e-12
+    )
+    recovered.close()
+
+    # the resumed appends are durable: recover a second time
+    again = MatchingSession.recover(tmp_path / "wal")
+    assert again.retained().retained_id_set() == session.retained().retained_id_set()
+
+
+def test_recovery_survives_a_torn_tail(tmp_path):
+    session = MatchingSession(
+        _frozen_model(), online="wep", wal_path=tmp_path / "wal"
+    )
+    for profile in _profiles(8, "a"):
+        session.insert(profile)
+    before_last = session.retained().retained_id_set()
+    session.insert(make_profile("late", t="tok1 common"))
+    session.close()
+
+    log = tmp_path / "wal" / "wal.log"
+    log.write_bytes(log.read_bytes()[:-9])  # tear the final insert's record
+
+    recovered = MatchingSession.recover(tmp_path / "wal")
+    assert not recovered.index.has_entity("late")
+    assert recovered.retained().retained_id_set() == before_last
+
+
+def test_explicit_and_automatic_checkpoints(tmp_path):
+    session = MatchingSession(
+        _frozen_model(), wal_path=tmp_path / "wal", snapshot_every=3
+    )
+    # construction writes the bootstrap snapshot immediately
+    assert len(session.wal.snapshot_paths()) == 1
+    for profile in _profiles(7, "a"):
+        session.insert(profile)
+    assert len(session.wal.snapshot_paths()) == 3  # bootstrap + 2 automatic
+    session.checkpoint()
+    assert len(session.wal.snapshot_paths()) == 4
+    session.close()
+    recovered = MatchingSession.recover(tmp_path / "wal")
+    assert recovered.retained().retained_id_set() == session.retained().retained_id_set()
+
+
+def test_fresh_session_refuses_a_used_wal_directory(tmp_path):
+    session = MatchingSession(_frozen_model(), wal_path=tmp_path / "wal")
+    session.insert(make_profile("a0", t="tok common"))
+    session.close()
+    with pytest.raises(ValueError, match="MatchingSession.recover"):
+        MatchingSession(_frozen_model(), wal_path=tmp_path / "wal")
+
+
+def test_checkpoint_requires_a_wal():
+    session = MatchingSession(_frozen_model())
+    with pytest.raises(RuntimeError, match="wal_path"):
+        session.checkpoint()
+
+
+def test_bare_index_wal_rejects_session_recovery(tmp_path):
+    from repro.incremental import MutableBlockIndex
+    from repro.persistence import WriteAheadLog
+
+    index = MutableBlockIndex()
+    wal = WriteAheadLog(tmp_path / "wal")
+    index.attach_wal(wal)
+    index.add_entity(make_profile("e0", t="apple phone"))
+    wal.close()
+    with pytest.raises(ValueError, match="recover_index"):
+        MatchingSession.recover(tmp_path / "wal")
