@@ -9,12 +9,13 @@
 #   make bench-blocking    - block-preparation bench (loop vs array backend)
 #   make bench-parallel    - sharded-engine scaling bench (speedup vs workers)
 #   make bench-wal         - WAL durability bench (journal overhead, recovery)
+#   make bench-serve       - serving bench (ingest rate, match tails, recovery)
 #   make bench             - the full pytest-benchmark harness
 
 PYTHON ?= python
 PYTEST  = PYTHONPATH=src $(PYTHON) -m pytest
 
-.PHONY: test test-equivalence test-fast bench-smoke bench-stream bench-churn bench-blocking bench-parallel bench-wal bench
+.PHONY: test test-equivalence test-fast bench-smoke bench-stream bench-churn bench-blocking bench-parallel bench-wal bench-serve bench
 
 test:
 	$(PYTEST) -x -q
@@ -42,6 +43,9 @@ bench-parallel:
 
 bench-wal:
 	$(PYTEST) -q benchmarks/bench_wal_recovery.py
+
+bench-serve:
+	$(PYTEST) -q benchmarks/bench_serve.py
 
 bench:
 	$(PYTEST) -q benchmarks/ -o python_files='bench_*.py' --benchmark-only

@@ -1,0 +1,191 @@
+"""Bench S4 — serving latency: ingest throughput, query tails, recovery.
+
+Starts a real :class:`repro.serve.MatchingDaemon` (in-process event loop,
+real shard worker processes, real sockets) over a frozen model trained on
+a scaled DblpAcm, then measures the three numbers a deployment cares
+about:
+
+* **ingest throughput** — acknowledged single-profile inserts per second
+  through one client connection (every insert journaled and scored);
+* **match latency under concurrent load** — p50/p99 of full snapshot
+  ``match`` queries issued while a writer keeps inserting on a second
+  connection (each answer is a consistent pinned-offset view);
+* **recovery time** — SIGTERM-equivalent graceful shutdown, then the time
+  for ``--recover`` to reach *serving* again, with the recovered retained
+  set asserted identical to the pre-shutdown answer.
+
+Saved to ``benchmarks/results/serve_latency.json``.  Qualitative perf
+assertions are downgraded to measurements with ``REPRO_SKIP_PERF=1``.
+"""
+
+import json
+import os
+import threading
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.datamodel import make_profile
+from repro.datasets import load_benchmark
+from repro.incremental import train_frozen_model
+from repro.serve import MatchingDaemon, ServeClient
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+DATASET = "DblpAcm"
+PRUNING = "BLAST"
+
+
+def _profiles(collection):
+    return [
+        {"entity_id": p.entity_id, "attributes": dict(p.attributes)}
+        for p in collection
+    ]
+
+
+def _start(daemon):
+    thread = threading.Thread(target=daemon.serve, daemon=True)
+    thread.start()
+    assert daemon.ready.wait(120), "daemon did not come up"
+    return thread
+
+
+def _stop(daemon, thread):
+    daemon.request_shutdown()
+    thread.join(120)
+    assert not thread.is_alive(), "daemon did not shut down"
+
+
+def test_serve_latency(full_mode, tmp_path, report_sink):
+    scale = 0.3 if full_mode else 0.1
+    dataset = load_benchmark(DATASET, seed=0, scale=scale)
+    model = train_frozen_model(
+        dataset, bootstrap_fraction=0.5, pruning=PRUNING, seed=0
+    )
+    first = _profiles(dataset.first)
+    second = _profiles(dataset.second)
+
+    wal = tmp_path / "wal"
+    daemon = MatchingDaemon(wal, model, num_shards=2, bilateral=True)
+    thread = _start(daemon)
+
+    # -- phase 1: pure ingest throughput (one connection, acked writes) ----------
+    with ServeClient(*daemon.address, timeout=300.0) as client:
+        started = time.perf_counter()
+        for profile in first:
+            client.insert(profile, side=0)
+        ingest_seconds = time.perf_counter() - started
+        ingested = len(first)
+
+    # -- phase 2: match tails under concurrent ingest ----------------------------
+    query_count = 60 if full_mode else 30
+    latencies = []
+    writer_done = threading.Event()
+
+    def writer():
+        try:
+            with ServeClient(*daemon.address, timeout=300.0) as sink:
+                for profile in second:
+                    if writer_done.is_set():
+                        break
+                    sink.insert(profile, side=1)
+        finally:
+            writer_done.set()
+
+    writer_thread = threading.Thread(target=writer)
+    writer_thread.start()
+    with ServeClient(*daemon.address, timeout=300.0) as client:
+        for _ in range(query_count):
+            started = time.perf_counter()
+            answer = client.match()
+            latencies.append(time.perf_counter() - started)
+            if writer_done.is_set():
+                break
+    writer_done.set()
+    writer_thread.join(300)
+    assert not writer_thread.is_alive()
+
+    with ServeClient(*daemon.address, timeout=300.0) as client:
+        before = client.match()
+        stats = client.stats()
+
+    # -- phase 3: graceful shutdown + recovery-to-serving time -------------------
+    started = time.perf_counter()
+    _stop(daemon, thread)
+    shutdown_seconds = time.perf_counter() - started
+
+    started = time.perf_counter()
+    recovered = MatchingDaemon(wal, recover=True, num_shards=2)
+    thread = _start(recovered)
+    recover_seconds = time.perf_counter() - started
+    try:
+        with ServeClient(*recovered.address, timeout=300.0) as client:
+            after = client.match()
+        # identical retained pairs; probabilities to float tolerance (the
+        # compacted rebuild can reorder summations by one ULP)
+        assert [pair[:2] for pair in after["retained"]] == [
+            pair[:2] for pair in before["retained"]
+        ], "recovered daemon must serve the exact pre-shutdown retained set"
+        np.testing.assert_allclose(
+            [pair[2] for pair in after["retained"]],
+            [pair[2] for pair in before["retained"]],
+            rtol=0,
+            atol=1e-12,
+        )
+    finally:
+        _stop(recovered, thread)
+
+    quantiles = np.quantile(latencies, (0.5, 0.99)) if latencies else (0.0, 0.0)
+    payload = {
+        "dataset": DATASET,
+        "scale": scale,
+        "pruning": PRUNING,
+        "shards": 2,
+        "ingested": ingested,
+        "ingest_seconds": float(ingest_seconds),
+        "ingest_per_second": float(ingested / max(ingest_seconds, 1e-9)),
+        "concurrent_matches": len(latencies),
+        "match_p50_ms": float(quantiles[0] * 1e3),
+        "match_p99_ms": float(quantiles[1] * 1e3),
+        "live_entities": int(stats["daemon"]["entities"]),
+        "live_pairs": int(stats["daemon"]["pairs"]),
+        "retained_pairs": len(before["retained"]),
+        "shutdown_seconds": float(shutdown_seconds),
+        "recover_to_serving_seconds": float(recover_seconds),
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "serve_latency.json").write_text(
+        json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+    )
+
+    report_sink(
+        "serve_latency",
+        "\n".join(
+            [
+                f"serving latency — {DATASET} (scale {scale}, 2 shards)",
+                f"  ingest: {ingested} acked inserts in {ingest_seconds:.2f}s "
+                f"({payload['ingest_per_second']:.0f}/s, journaled + scored)",
+                f"  match under concurrent ingest: "
+                f"p50 {payload['match_p50_ms']:.1f}ms, "
+                f"p99 {payload['match_p99_ms']:.1f}ms "
+                f"over {len(latencies)} queries "
+                f"({payload['live_pairs']} live pairs)",
+                f"  graceful shutdown {shutdown_seconds:.2f}s; "
+                f"recover to serving {recover_seconds:.2f}s; "
+                f"retained set identical across restart "
+                f"({payload['retained_pairs']} pairs)",
+            ]
+        ),
+    )
+
+    # Structural expectations that hold on any machine.
+    assert payload["ingested"] > 0
+    assert payload["live_entities"] > 0
+    assert len(latencies) > 0
+    # Qualitative timing claims (wall-clock-sensitive; REPRO_SKIP_PERF=1
+    # downgrades them on noisy shared runners):
+    # (1) acked-write ingest sustains a usable rate,
+    # (2) recovering to serving beats re-ingesting the stream.
+    if not os.environ.get("REPRO_SKIP_PERF"):
+        assert payload["ingest_per_second"] >= 20.0
+        assert recover_seconds < ingest_seconds

@@ -7,6 +7,8 @@ Usage::
     python -m repro run fig5 --datasets AbtBuy DblpAcm --repetitions 2
     python -m repro quickstart                 # run the quickstart pipeline
     python -m repro stream --dataset DblpAcm   # incremental streaming session
+    python -m repro serve --wal /tmp/wal       # persistent matching daemon
+    python -m repro client stats --port 9876   # query a running daemon
 
 Every ``run`` command prints the same rows/series the paper reports for that
 experiment (the benches in ``benchmarks/`` are the pytest-integrated variant
@@ -343,6 +345,141 @@ def _run_stream(args: argparse.Namespace, parser: argparse.ArgumentParser) -> st
     )
 
 
+def _run_serve(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
+    """Start the persistent matching daemon (``repro serve``)."""
+    from .serve import MatchingDaemon
+
+    if args.snapshot_every is not None and args.snapshot_every < 1:
+        parser.error("--snapshot-every must be at least 1")
+    if args.shards < 1:
+        parser.error("--shards must be at least 1")
+    model = None
+    if not args.recover:
+        from .datasets import load_benchmark
+        from .incremental import StreamTrainingError, train_frozen_model
+
+        if not 0.0 < args.bootstrap <= 1.0:
+            parser.error("--bootstrap must be a fraction in (0, 1]")
+        # the benchmark is only used to train the frozen classifier the
+        # daemon scores with; the served index starts empty
+        dataset = load_benchmark(args.dataset, seed=args.seed, scale=args.scale)
+        try:
+            model = train_frozen_model(
+                dataset,
+                bootstrap_fraction=args.bootstrap,
+                pruning=args.pruning,
+                training_size=args.training_size,
+                seed=args.seed,
+                backend=args.backend,
+            )
+        except StreamTrainingError as error:
+            parser.error(str(error))
+    try:
+        daemon = MatchingDaemon(
+            args.wal,
+            model,
+            host=args.host,
+            port=args.port,
+            num_shards=args.shards,
+            bilateral=True,
+            pruning=args.pruning,
+            online=args.online,
+            top_k=args.top_k,
+            snapshot_every=args.snapshot_every,
+            wal_sync=args.wal_sync,
+            recover=args.recover,
+            tokenize_workers=args.workers,
+            announce=True,
+        )
+    except (FileNotFoundError, ValueError) as error:
+        parser.error(f"cannot start the daemon: {error}")
+    return daemon.serve()
+
+
+def _run_client(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
+    """One request against a running daemon (``repro client``)."""
+    import json
+
+    from .datamodel import make_profile
+    from .serve import ProtocolError, ServeClient, ServeError, render_stats
+
+    try:
+        client = ServeClient(args.host, args.port, timeout=args.timeout)
+    except OSError as error:
+        parser.error(f"cannot connect to {args.host}:{args.port}: {error}")
+    try:
+        action = args.action
+        if action == "ping":
+            print(json.dumps(client.ping(), sort_keys=True))
+        elif action == "stats":
+            print(render_stats(client.stats()))
+        elif action == "match":
+            answer = client.match()
+            retained = answer["retained"]
+            print(
+                f"{len(retained)} retained pairs of "
+                f"{answer['num_candidates']} candidates "
+                f"at WAL offset {answer['offset']}"
+            )
+            for id_a, id_b, probability in retained[: args.limit]:
+                print(f"  {id_a} ~ {id_b}  p={probability:.6f}")
+            if len(retained) > args.limit:
+                print(f"  ... and {len(retained) - args.limit} more")
+        elif action == "top-k":
+            if args.id is None:
+                parser.error("top-k needs --id")
+            answer = client.top_k(args.id, side=args.side, k=args.k)
+            print(
+                f"top {len(answer['matches'])} matches of {args.id!r} "
+                f"at WAL offset {answer['offset']}"
+            )
+            for match in answer["matches"]:
+                print(
+                    f"  {match['entity_id']} (side {match['side']})  "
+                    f"p={match['probability']:.6f}"
+                )
+        elif action == "insert":
+            if args.id is None or args.text is None:
+                parser.error("insert needs --id and --text")
+            result = client.insert(
+                make_profile(args.id, text=args.text), side=args.side
+            )
+            matches = ", ".join(
+                f"{entity_id} (p={probability:.3f})"
+                for entity_id, probability in result["matches"]
+            )
+            print(
+                f"inserted {result['entity_id']!r} as node {result['node']}: "
+                f"{result['num_new_pairs']} new pairs"
+                + (f"; online matches: {matches}" if matches else "")
+            )
+        elif action == "remove":
+            if args.id is None:
+                parser.error("remove needs --id")
+            result = client.remove(args.id, side=args.side)
+            print(
+                f"removed {result['entity_id']!r}: "
+                f"{result['num_retracted_pairs']} pairs retracted"
+            )
+        elif action == "checkpoint":
+            result = client.checkpoint()
+            print(f"checkpoint written: {result['snapshot']}")
+        elif action == "shutdown":
+            client.shutdown()
+            print("daemon is shutting down")
+        else:  # pragma: no cover - argparse restricts the choices
+            parser.error(f"unknown client action {action!r}")
+    except ServeError as error:
+        print(f"server error: {error}", file=sys.stderr)
+        return 1
+    except (ProtocolError, OSError) as error:
+        print(f"connection error: {error}", file=sys.stderr)
+        return 1
+    finally:
+        client.close()
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the top-level argument parser."""
     parser = argparse.ArgumentParser(
@@ -484,6 +621,103 @@ def build_parser() -> argparse.ArgumentParser:
         default="sparse",
         help="feature backend used while training the frozen classifier",
     )
+
+    serve_parser = subparsers.add_parser(
+        "serve",
+        help="run the persistent matching daemon (repro.serve): WAL-backed "
+        "ingest with shard-affine workers and snapshot-consistent reads",
+    )
+    serve_parser.add_argument(
+        "--wal",
+        required=True,
+        metavar="DIR",
+        help="write-ahead log directory — the daemon's durable state",
+    )
+    serve_parser.add_argument(
+        "--recover",
+        action="store_true",
+        help="resume the state persisted in --wal instead of starting empty",
+    )
+    serve_parser.add_argument("--host", default="127.0.0.1")
+    serve_parser.add_argument(
+        "--port", type=int, default=0,
+        help="TCP port (0 = pick a free port; the bound port is announced "
+        "on stdout as a JSON line)",
+    )
+    serve_parser.add_argument(
+        "--shards", type=int, default=2,
+        help="shard worker processes serving reads (signature-sharded "
+        "replicas of the WAL)",
+    )
+    serve_parser.add_argument(
+        "--dataset",
+        default="DblpAcm",
+        choices=CLEAN_CLEAN_ORDER,
+        help="benchmark used to train the frozen classifier of a fresh "
+        "daemon (ignored with --recover)",
+    )
+    serve_parser.add_argument(
+        "--bootstrap", type=float, default=0.5,
+        help="fraction of the dataset used to train the frozen classifier",
+    )
+    serve_parser.add_argument(
+        "--pruning", default="BLAST", choices=sorted(PRUNING_ALGORITHMS),
+        help="batch pruning algorithm behind the 'match' endpoint",
+    )
+    serve_parser.add_argument(
+        "--online", default="wep", choices=("wep", "topk"),
+        help="per-insert online policy",
+    )
+    serve_parser.add_argument("--top-k", type=int, default=1000, dest="top_k")
+    serve_parser.add_argument(
+        "--snapshot-every", type=int, default=None, dest="snapshot_every",
+        metavar="N", help="automatic checkpoint every N mutations",
+    )
+    serve_parser.add_argument(
+        "--wal-sync", default="always", choices=("always", "batch"),
+        dest="wal_sync", help="fsync per record (default) or on checkpoint only",
+    )
+    serve_parser.add_argument(
+        "--workers", type=_workers_argument, default=1,
+        help="worker processes for bulk-insert tokenization (1 = inline)",
+    )
+    serve_parser.add_argument("--scale", type=float, default=None)
+    serve_parser.add_argument("--training-size", type=int, default=50, dest="training_size")
+    serve_parser.add_argument("--seed", type=int, default=0)
+    serve_parser.add_argument(
+        "--backend", choices=list(BACKENDS), default="sparse",
+        help="feature backend used while training the frozen classifier",
+    )
+
+    client_parser = subparsers.add_parser(
+        "client",
+        help="send one request to a running repro serve daemon",
+    )
+    client_parser.add_argument(
+        "action",
+        choices=(
+            "ping", "stats", "match", "top-k", "insert", "remove",
+            "checkpoint", "shutdown",
+        ),
+    )
+    client_parser.add_argument("--host", default="127.0.0.1")
+    client_parser.add_argument("--port", type=int, required=True)
+    client_parser.add_argument("--timeout", type=float, default=60.0)
+    client_parser.add_argument("--id", default=None, help="entity id")
+    client_parser.add_argument(
+        "--text", default=None, help="profile text for 'insert'"
+    )
+    client_parser.add_argument(
+        "--side", type=int, default=0, choices=(0, 1),
+        help="collection side of the entity",
+    )
+    client_parser.add_argument(
+        "-k", type=int, default=10, help="result count for 'top-k'"
+    )
+    client_parser.add_argument(
+        "--limit", type=int, default=20,
+        help="retained pairs printed by 'match'",
+    )
     return parser
 
 
@@ -517,6 +751,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.command == "stream":
         print(_run_stream(args, parser))
         return 0
+    if args.command == "serve":
+        return _run_serve(args, parser)
+    if args.command == "client":
+        return _run_client(args, parser)
     if args.command == "run":
         print(EXPERIMENTS[args.experiment](args))
         return 0

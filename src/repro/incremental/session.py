@@ -542,7 +542,10 @@ class MatchingSession:
         return [self.insert(profile, side=side) for profile in profiles]
 
     def insert_bulk(
-        self, profiles: Sequence[EntityProfile], side: int = 0
+        self,
+        profiles: Sequence[EntityProfile],
+        side: int = 0,
+        signature_lists=None,
     ) -> BulkInsertResult:
         """Load a batch of same-side entities through the index's bulk path.
 
@@ -553,9 +556,16 @@ class MatchingSession:
         together — OnlineWEP folds them all into its running average before
         thresholding any of them, where sequential inserts would threshold
         each pair against the average as of its own arrival.
+
+        ``signature_lists`` optionally carries pre-extracted per-profile
+        signatures (callers that fanned tokenization out over a
+        :class:`repro.parallel.ParallelExecutor`, as the serving daemon
+        does, skip the in-process pass).
         """
         self._check_generation()
-        delta = self.index.add_entities_bulk(profiles, side=side)
+        delta = self.index.add_entities_bulk(
+            profiles, side=side, signature_lists=signature_lists
+        )
         result = self._score_bulk(delta)
         self._count_op()
         return result

@@ -415,6 +415,10 @@ class ShardedMutableBlockIndex:
         """0/1 for live nodes, -1 for tombstoned slots."""
         return self.shards[0].side_of(node)
 
+    def sides(self) -> np.ndarray:
+        """Per-node side flags (0 = first, 1 = second, -1 = removed)."""
+        return self.shards[0].sides()
+
     def is_live(self, node: int) -> bool:
         """Whether the node slot currently holds a live entity."""
         return self.shards[0].is_live(node)

@@ -128,19 +128,35 @@ class ParallelExecutor:
     def __exit__(self, *exc_info) -> None:
         self.close()
 
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` already ran (closing again is a no-op)."""
+        return self._closed
+
     def close(self) -> None:
-        """Terminate the pool and unlink every shared segment."""
+        """Terminate the pool and unlink every shared segment.
+
+        Idempotent: a second ``close()`` (or exiting a ``with`` block after
+        an explicit close) is a no-op.  Segment cleanup runs even when the
+        pool teardown raises, so a long-lived caller — the serving daemon
+        keeps one executor for its whole lifetime — never leaks
+        shared-memory segments on an unclean shutdown path.
+        """
         if self._closed:
             return
         self._closed = True
-        if self._pool is not None:
-            self._pool.terminate()
-            self._pool.join()
-            self._pool = None
-        for _, shared in self._published.values():
-            shared.close()
-        self._published.clear()
-        self.release_outputs()
+        try:
+            if self._pool is not None:
+                pool, self._pool = self._pool, None
+                pool.terminate()
+                pool.join()
+        finally:
+            try:
+                for _, shared in self._published.values():
+                    shared.close()
+            finally:
+                self._published.clear()
+                self.release_outputs()
 
     def __del__(self) -> None:  # pragma: no cover - GC safety net
         try:
@@ -158,6 +174,8 @@ class ParallelExecutor:
         matter how many stages read them.  Segments live until
         :meth:`close`.
         """
+        if self._closed:
+            raise RuntimeError("executor is closed")
         key = id(array)
         entry = self._published.get(key)
         if entry is None:
@@ -172,6 +190,8 @@ class ParallelExecutor:
         The buffer stays mapped until :meth:`release_outputs` or
         :meth:`close`; callers copy results out before releasing.
         """
+        if self._closed:
+            raise RuntimeError("executor is closed")
         shared = SharedArray(shape=tuple(shape), dtype=dtype)
         shared.array[...] = np.zeros((), dtype=dtype)
         self._outputs.append(shared)

@@ -1,0 +1,70 @@
+"""``repro.serve``: a persistent matching service over a WAL-backed session.
+
+The serving subsystem turns the streaming :class:`~repro.incremental.MatchingSession`
+into a long-lived daemon: K shard-affine worker processes replicate the
+session's write-ahead log (one signature shard each, the PR 5 routing
+contract) and answer ``match``/``top_k`` queries at *pinned* WAL offsets, so
+every response is snapshot-consistent under concurrent ingest.  The wire
+protocol is length-prefixed JSON with CRC32 framing — the WAL's record
+discipline applied to a socket.
+
+Modules
+-------
+``protocol``
+    Message framing (async + sync), request/response envelopes.
+``daemon``
+    :class:`MatchingDaemon` — the asyncio front end and its dispatch threads.
+``workers``
+    :class:`ShardReplica` + the worker process body and parent-side handle.
+``router``
+    Pinned read views assembled from per-shard states; ``match``/``top_k``
+    answer kernels.
+``client``
+    :class:`ServeClient` — the blocking stdlib client.
+``metrics``
+    Latency histograms, gauges and the ``stats`` rendering.
+"""
+
+from .client import ServeClient, ServeError
+from .daemon import MatchingDaemon
+from .metrics import LatencyHistogram, ServerMetrics, render_stats
+from .protocol import (
+    OPERATIONS,
+    PROTOCOL_VERSION,
+    ProtocolError,
+    encode_message,
+    profile_from_wire,
+    profile_to_wire,
+)
+from .router import ShardRouter, build_pinned_view, match_answer, top_k_answer
+from .workers import (
+    ShardReplica,
+    ShardWorkerHandle,
+    WalFollowError,
+    WalRecordFollower,
+    WorkerError,
+)
+
+__all__ = [
+    "MatchingDaemon",
+    "ServeClient",
+    "ServeError",
+    "ShardReplica",
+    "ShardRouter",
+    "ShardWorkerHandle",
+    "WalFollowError",
+    "WalRecordFollower",
+    "WorkerError",
+    "LatencyHistogram",
+    "ServerMetrics",
+    "render_stats",
+    "OPERATIONS",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "encode_message",
+    "profile_from_wire",
+    "profile_to_wire",
+    "build_pinned_view",
+    "match_answer",
+    "top_k_answer",
+]

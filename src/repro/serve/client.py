@@ -1,0 +1,140 @@
+"""Synchronous client for the matching service.
+
+A thin blocking wrapper over the framed-JSON protocol
+(:mod:`repro.serve.protocol`): one socket, sequential request/response,
+stdlib only.  Responses are matched to requests by id; a server-side
+failure surfaces as :class:`ServeError` carrying the typed error the
+daemon reported.
+
+>>> with ServeClient(port=9876) as client:
+...     client.insert({"entity_id": "a1", "attributes": {"title": "x"}})
+...     answer = client.match()
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+from ..datamodel import EntityProfile
+from .protocol import (
+    ProtocolError,
+    profile_to_wire,
+    read_message_from,
+    write_message_to,
+)
+
+WireProfile = Union[EntityProfile, Dict[str, Any]]
+
+
+class ServeError(RuntimeError):
+    """The daemon answered a request with a typed error."""
+
+    def __init__(self, error_type: str, message: str) -> None:
+        super().__init__(f"{error_type}: {message}")
+        self.error_type = error_type
+        self.server_message = message
+
+
+def _wire_profile(profile: WireProfile) -> Dict[str, Any]:
+    if isinstance(profile, EntityProfile):
+        return profile_to_wire(profile)
+    return profile
+
+
+class ServeClient:
+    """One connection to a running :class:`~repro.serve.daemon.MatchingDaemon`."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        timeout: Optional[float] = 60.0,
+    ) -> None:
+        self._socket = socket.create_connection((host, port), timeout=timeout)
+        self._stream = self._socket.makefile("rwb")
+        self._next_id = 0
+
+    # -- lifecycle ---------------------------------------------------------------
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def close(self) -> None:
+        try:
+            self._stream.close()
+        finally:
+            self._socket.close()
+
+    # -- transport ---------------------------------------------------------------
+    def call(self, op: str, **args: Any) -> Any:
+        """Send one request and return its result (or raise :class:`ServeError`)."""
+        self._next_id += 1
+        request_id = self._next_id
+        write_message_to(
+            self._stream, {"op": op, "id": request_id, "args": args}
+        )
+        response = read_message_from(self._stream)
+        if response is None:
+            raise ProtocolError("the daemon closed the connection mid-request")
+        if response.get("id") != request_id:
+            raise ProtocolError(
+                f"response id {response.get('id')!r} does not match "
+                f"request id {request_id}"
+            )
+        if response.get("ok"):
+            return response.get("result")
+        error = response.get("error") or {}
+        raise ServeError(
+            str(error.get("type", "unknown")), str(error.get("message", ""))
+        )
+
+    # -- operations --------------------------------------------------------------
+    def ping(self) -> Dict[str, Any]:
+        return self.call("ping")
+
+    def insert(self, profile: WireProfile, side: int = 0) -> Dict[str, Any]:
+        return self.call("insert", profile=_wire_profile(profile), side=side)
+
+    def insert_bulk(
+        self, profiles: Sequence[WireProfile], side: int = 0
+    ) -> Dict[str, Any]:
+        return self.call(
+            "insert_bulk",
+            profiles=[_wire_profile(profile) for profile in profiles],
+            side=side,
+        )
+
+    def remove(self, entity_id: str, side: int = 0) -> Dict[str, Any]:
+        return self.call("remove", entity_id=entity_id, side=side)
+
+    def update(self, profile: WireProfile, side: int = 0) -> Dict[str, Any]:
+        return self.call("update", profile=_wire_profile(profile), side=side)
+
+    def match(self) -> Dict[str, Any]:
+        """The full retained-match set at a pinned WAL offset."""
+        return self.call("match")
+
+    def top_k(
+        self, entity_id: str, side: int = 0, k: int = 10
+    ) -> Dict[str, Any]:
+        """The ``k`` best-scored candidate counterparts of one entity."""
+        return self.call("top_k", entity_id=entity_id, side=side, k=k)
+
+    def checkpoint(self) -> Dict[str, Any]:
+        return self.call("checkpoint")
+
+    def stats(self) -> Dict[str, Any]:
+        return self.call("stats")
+
+    def shutdown(self) -> Dict[str, Any]:
+        """Ask the daemon to drain, checkpoint and exit."""
+        return self.call("shutdown")
+
+    # -- conveniences ------------------------------------------------------------
+    def retained_pairs(self) -> List[tuple]:
+        """``match`` flattened to ``[(id_a, id_b, probability), ...]``."""
+        answer = self.match()
+        return [tuple(entry) for entry in answer["retained"]]

@@ -1,0 +1,502 @@
+"""The ``repro serve`` daemon: concurrent ingest + snapshot-consistent reads.
+
+Architecture (the REPL → executor → storage-engine layering, serving
+edition):
+
+* the **authority** state is one WAL-backed
+  :class:`~repro.incremental.MatchingSession`; every mutation
+  (``insert``/``insert_bulk``/``remove``/``update``/``checkpoint``) runs on
+  a single dedicated mutation thread (the index is not thread-safe, and one
+  writer keeps the WAL append order the commit order) while the asyncio
+  loop keeps accepting connections;
+* **reads** (``match``/``top_k``/``stats``) pin the WAL offset at query
+  start and are served from K long-lived shard worker processes
+  (:mod:`repro.serve.workers`), each owning one signature shard replicated
+  by tailing the same WAL.  The router assembles the per-shard states at
+  the pinned offset into a merged read view (:mod:`repro.serve.router`), so
+  every response equals the canonical view as of its offset — writes
+  arriving *during* the query change nothing the query sees;
+* reads run on their own single dispatch thread, which makes the offsets
+  handed to the workers monotone (replicas never rewind).
+
+Durability: mutations are journaled before they are applied (the session's
+WAL discipline), and a SIGTERM/SIGINT drains in-flight requests, writes a
+final checkpoint, fsyncs and exits cleanly — ``repro serve --recover``
+resumes the identical retained set.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import signal
+import threading
+import time
+import traceback
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Dict, Optional, Tuple
+
+from .. import __version__
+from ..incremental.index import DuplicateEntityError, UnknownEntityError
+from ..incremental.session import MatchingSession
+from .metrics import ServerMetrics
+from .protocol import (
+    OPERATIONS,
+    PROTOCOL_VERSION,
+    ProtocolError,
+    error_response,
+    ok_response,
+    profile_from_wire,
+    read_message,
+    write_message,
+)
+from .router import ShardRouter, match_answer, top_k_answer
+
+#: operations serialized on the mutation thread
+MUTATION_OPS = frozenset({"insert", "insert_bulk", "remove", "update", "checkpoint"})
+#: operations served from the pinned shard-worker views
+READ_OPS = frozenset({"match", "top_k", "stats"})
+
+
+def _newest_valid_snapshot(wal_path):
+    """The snapshot path :func:`recover_session` will load, or ``None``.
+
+    Mirrors :meth:`WriteAheadLog.latest_snapshot`'s selection (newest file
+    that decodes and CRC-validates) but returns the *path*, which the shard
+    workers need to bootstrap from the identical state.
+    """
+    from ..persistence.log import WriteAheadLog
+
+    wal = WriteAheadLog(wal_path)
+    for path in reversed(wal.snapshot_paths()):
+        if wal.load_snapshot(path) is not None:
+            return path
+    return None
+
+
+class MatchingDaemon:
+    """A persistent matching service over one WAL directory.
+
+    Parameters
+    ----------
+    wal_path:
+        The WAL directory — the daemon's entire durable state.
+    model:
+        The frozen classifier for a fresh daemon (ignored with
+        ``recover=True``, where the model comes from the snapshot).
+    recover:
+        Resume the state persisted in ``wal_path`` instead of starting
+        empty.
+    num_shards:
+        Shard worker count K.
+    tokenize_workers:
+        Worker count for the long-lived :class:`ParallelExecutor` that fans
+        out ``insert_bulk`` tokenization (1 = tokenize inline).
+    drain_timeout:
+        Seconds to wait for in-flight requests on shutdown before
+        cancelling their connections.
+    announce:
+        Print a one-line JSON ``{"event": "serving", ...}`` banner once the
+        socket is bound (the CLI and the end-to-end tests parse it).
+    """
+
+    def __init__(
+        self,
+        wal_path,
+        model=None,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        num_shards: int = 2,
+        bilateral: bool = True,
+        pruning: str = "BLAST",
+        online: str = "wep",
+        top_k: int = 1000,
+        snapshot_every: Optional[int] = None,
+        wal_sync: str = "always",
+        recover: bool = False,
+        tokenize_workers=1,
+        start_method: Optional[str] = None,
+        drain_timeout: float = 10.0,
+        announce: bool = False,
+    ) -> None:
+        bootstrap = None
+        if recover:
+            # recovery rebuilds the authority from the newest valid
+            # snapshot, which compacts and renumbers node ids; capture that
+            # snapshot's path *first* so the shard replicas can bootstrap
+            # from the very same file and share the authority's node space
+            bootstrap = _newest_valid_snapshot(wal_path)
+            self.session = MatchingSession.recover(wal_path, sync=wal_sync)
+        else:
+            if model is None:
+                raise ValueError("a fresh daemon needs a frozen model")
+            self.session = MatchingSession(
+                model,
+                bilateral=bilateral,
+                pruning=pruning,
+                online=online,
+                top_k=top_k,
+                wal_path=wal_path,
+                snapshot_every=snapshot_every,
+                wal_sync=wal_sync,
+            )
+        self.wal_path = wal_path
+        self.host = host
+        self.port = port
+        self.num_shards = num_shards
+        self.drain_timeout = drain_timeout
+        self.announce = announce
+        self.metrics = ServerMetrics()
+        # entity ids by node come from the authority index's append-only
+        # registry: node slots are never reused, so the live resolver is
+        # correct for every node visible at any pinned offset
+        self.router = ShardRouter(
+            wal_path,
+            num_shards,
+            self.session.index.entity_id,
+            start_method=start_method,
+            bootstrap=bootstrap,
+        )
+        from ..parallel import ParallelExecutor, resolve_workers
+
+        workers = resolve_workers(tokenize_workers)
+        self._executor = ParallelExecutor(workers) if workers > 1 else None
+        self.address: Optional[Tuple[str, int]] = None
+        self.ready = threading.Event()
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._shutdown: Optional[asyncio.Event] = None
+        self._connections: set = set()
+        self._mutator: Optional[ThreadPoolExecutor] = None
+        self._reader: Optional[ThreadPoolExecutor] = None
+        self._signals_installed = False
+
+    # -- lifecycle ---------------------------------------------------------------
+    async def run(self) -> None:
+        """Serve until a shutdown is requested; then drain, checkpoint, close."""
+        loop = asyncio.get_running_loop()
+        self._loop = loop
+        self._shutdown = asyncio.Event()
+        self._mutator = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="repro-serve-mutate"
+        )
+        self._reader = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="repro-serve-read"
+        )
+        self.router.start()
+        server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        self.address = server.sockets[0].getsockname()[:2]
+        self._install_signal_handlers(loop)
+        self.ready.set()
+        if self.announce:
+            print(
+                json.dumps(
+                    {
+                        "event": "serving",
+                        "host": self.address[0],
+                        "port": self.address[1],
+                        "pid": os.getpid(),
+                        "shards": self.num_shards,
+                        "wal": str(self.wal_path),
+                    }
+                ),
+                flush=True,
+            )
+        try:
+            await self._shutdown.wait()
+        finally:
+            server.close()
+            await server.wait_closed()
+            await self._drain_connections()
+            await loop.run_in_executor(self._mutator, self._final_checkpoint)
+            self._mutator.shutdown(wait=True)
+            self._reader.shutdown(wait=True)
+            self.router.stop()
+            if self._executor is not None:
+                self._executor.close()
+            self._remove_signal_handlers(loop)
+
+    def serve(self) -> int:
+        """Blocking entry point; returns the process exit code."""
+        asyncio.run(self.run())
+        return 0
+
+    def request_shutdown(self) -> None:
+        """Thread-safe shutdown trigger (signal handlers, tests, ``shutdown``)."""
+        loop = self._loop
+        if loop is not None and self._shutdown is not None:
+            try:
+                loop.call_soon_threadsafe(self._shutdown.set)
+            except RuntimeError:
+                pass  # loop already closed: the daemon is down
+
+    def _install_signal_handlers(self, loop) -> None:
+        try:
+            loop.add_signal_handler(signal.SIGTERM, self._shutdown.set)
+            loop.add_signal_handler(signal.SIGINT, self._shutdown.set)
+            self._signals_installed = True
+        except (NotImplementedError, RuntimeError, ValueError):
+            # not the main thread (in-process test daemons) or an event
+            # loop without signal support; request_shutdown() remains
+            self._signals_installed = False
+
+    def _remove_signal_handlers(self, loop) -> None:
+        if self._signals_installed:
+            loop.remove_signal_handler(signal.SIGTERM)
+            loop.remove_signal_handler(signal.SIGINT)
+            self._signals_installed = False
+
+    async def _drain_connections(self) -> None:
+        """Let in-flight requests finish, then cancel lingering connections."""
+        tasks = [task for task in self._connections if not task.done()]
+        if not tasks:
+            return
+        done, pending = await asyncio.wait(tasks, timeout=self.drain_timeout)
+        for task in pending:
+            task.cancel()
+        if pending:
+            await asyncio.gather(*pending, return_exceptions=True)
+
+    def _final_checkpoint(self) -> None:
+        """The shutdown commit: one last snapshot, fsync, close."""
+        try:
+            self.session.checkpoint()
+        finally:
+            self.session.close()
+
+    # -- connection handling -----------------------------------------------------
+    async def _handle_connection(self, reader, writer) -> None:
+        task = asyncio.current_task()
+        self._connections.add(task)
+        self.metrics.connection_opened()
+        try:
+            while not self._shutdown.is_set():
+                read_task = asyncio.ensure_future(read_message(reader))
+                stop_task = asyncio.ensure_future(self._shutdown.wait())
+                try:
+                    await asyncio.wait(
+                        {read_task, stop_task}, return_when=asyncio.FIRST_COMPLETED
+                    )
+                finally:
+                    for side_task in (read_task, stop_task):
+                        if not side_task.done():
+                            side_task.cancel()
+                    await asyncio.gather(
+                        read_task, stop_task, return_exceptions=True
+                    )
+                if not read_task.done() or read_task.cancelled():
+                    break  # shutdown won the race; the client reconnects later
+                try:
+                    message = read_task.result()
+                except ProtocolError as error:
+                    await write_message(
+                        writer, error_response(None, "protocol", str(error))
+                    )
+                    break
+                if message is None:
+                    break  # clean EOF
+                response = await self._dispatch(message)
+                await write_message(writer, response)
+        except (ConnectionResetError, BrokenPipeError, asyncio.CancelledError):
+            pass
+        finally:
+            self._connections.discard(task)
+            self.metrics.connection_closed()
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
+
+    # -- dispatch ----------------------------------------------------------------
+    async def _dispatch(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        request_id = message.get("id")
+        op = message.get("op")
+        args = message.get("args") or {}
+        if op not in OPERATIONS:
+            return error_response(request_id, "protocol", f"unknown op {op!r}")
+        if not isinstance(args, dict):
+            return error_response(request_id, "protocol", "'args' must be an object")
+        start = time.perf_counter()
+        ok = True
+        try:
+            if op == "ping":
+                result = {
+                    "version": __version__,
+                    "protocol": PROTOCOL_VERSION,
+                    "shards": self.num_shards,
+                    "offset": self._offset(),
+                }
+            elif op == "shutdown":
+                self._shutdown.set()
+                result = {"stopping": True}
+            elif op in MUTATION_OPS:
+                result = await self._run_mutation(op, args)
+            else:
+                result = await self._run_read(op, args)
+            return ok_response(request_id, result)
+        except UnknownEntityError as error:
+            ok = False
+            return error_response(request_id, "unknown_entity", str(error))
+        except DuplicateEntityError as error:
+            ok = False
+            return error_response(request_id, "duplicate_entity", str(error))
+        except (ProtocolError, KeyError, TypeError, ValueError) as error:
+            ok = False
+            return error_response(
+                request_id, "bad_request", f"{type(error).__name__}: {error}"
+            )
+        except Exception as error:  # noqa: BLE001 - the daemon must not die
+            ok = False
+            traceback.print_exc()
+            return error_response(
+                request_id, "internal", f"{type(error).__name__}: {error}"
+            )
+        finally:
+            self.metrics.record(str(op), time.perf_counter() - start, ok)
+
+    async def _run_mutation(self, op: str, args: Dict[str, Any]) -> Any:
+        self.metrics.adjust_gauge("mutation_queue_depth", 1)
+        try:
+            return await self._loop.run_in_executor(
+                self._mutator, lambda: self._mutate(op, args)
+            )
+        finally:
+            self.metrics.adjust_gauge("mutation_queue_depth", -1)
+
+    async def _run_read(self, op: str, args: Dict[str, Any]) -> Any:
+        self.metrics.adjust_gauge("read_queue_depth", 1)
+        try:
+            return await self._loop.run_in_executor(
+                self._reader, lambda: self._read(op, args)
+            )
+        finally:
+            self.metrics.adjust_gauge("read_queue_depth", -1)
+
+    # -- mutation thread ---------------------------------------------------------
+    def _offset(self) -> int:
+        return int(self.session.wal.log_offset)
+
+    def _mutate(self, op: str, args: Dict[str, Any]) -> Any:
+        if op == "insert":
+            result = self.session.insert(
+                profile_from_wire(args["profile"]), side=int(args.get("side", 0))
+            )
+            return {
+                "entity_id": result.entity_id,
+                "node": int(result.node),
+                "num_new_pairs": int(result.num_new_pairs),
+                "matches": [
+                    [entity_id, probability] for entity_id, probability in result.matches
+                ],
+                "offset": self._offset(),
+            }
+        if op == "insert_bulk":
+            profiles = [profile_from_wire(entry) for entry in args["profiles"]]
+            side = int(args.get("side", 0))
+            result = self.session.insert_bulk(
+                profiles, side=side, signature_lists=self._tokenize(profiles)
+            )
+            return {
+                "entity_ids": list(result.entity_ids),
+                "num_new_pairs": int(result.num_new_pairs),
+                "num_admitted": int(result.num_admitted),
+                "offset": self._offset(),
+            }
+        if op == "remove":
+            result = self.session.remove(
+                str(args["entity_id"]), side=int(args.get("side", 0))
+            )
+            return {
+                "entity_id": result.entity_id,
+                "num_retracted_pairs": int(result.num_retracted_pairs),
+                "offset": self._offset(),
+            }
+        if op == "update":
+            result = self.session.update(
+                profile_from_wire(args["profile"]), side=int(args.get("side", 0))
+            )
+            return {
+                "entity_id": result.inserted.entity_id,
+                "num_retracted_pairs": int(result.removed.num_retracted_pairs),
+                "num_new_pairs": int(result.inserted.num_new_pairs),
+                "matches": [
+                    [entity_id, probability]
+                    for entity_id, probability in result.inserted.matches
+                ],
+                "offset": self._offset(),
+            }
+        if op == "checkpoint":
+            path = self.session.checkpoint()
+            return {"snapshot": str(path), "offset": self._offset()}
+        raise ProtocolError(f"unroutable mutation {op!r}")  # pragma: no cover
+
+    def _tokenize(self, profiles):
+        """Fan bulk tokenization out over the long-lived executor, if any."""
+        if (
+            self._executor is None
+            or self._executor.workers <= 1
+            or len(profiles) <= 1
+        ):
+            return None
+        from ..parallel.executor import split_ranges
+        from ..parallel.worker import signature_lists_chunk
+
+        chunks = self._executor.starmap(
+            signature_lists_chunk,
+            [
+                (tuple(profiles[start:stop]), self.session.index.blocking)
+                for start, stop in split_ranges(
+                    len(profiles), self._executor.workers
+                )
+            ],
+        )
+        return [signatures for chunk in chunks for signatures in chunk]
+
+    # -- read thread -------------------------------------------------------------
+    def _read(self, op: str, args: Dict[str, Any]) -> Any:
+        # the offset is pinned here, on the single read-dispatch thread, so
+        # the sequence of offsets the workers see is monotone — a replica
+        # can always reach the pinned state by replaying forward
+        offset = self._offset()
+        if op == "match":
+            view, _ = self.router.pinned_view(offset)
+            answer = match_answer(view, self.session.model, self.session.pruning)
+            answer["offset"] = offset
+            return answer
+        if op == "top_k":
+            entity_id = str(args["entity_id"])
+            side = int(args.get("side", 0))
+            view, node = self.router.pinned_view(offset, lookup=(side, entity_id))
+            if node < 0:
+                raise UnknownEntityError(entity_id, side)
+            return {
+                "offset": offset,
+                "entity_id": entity_id,
+                "matches": top_k_answer(
+                    view, self.session.model, node, int(args.get("k", 10))
+                ),
+            }
+        if op == "stats":
+            return {
+                "daemon": {
+                    "version": __version__,
+                    "entities": int(self.session.num_entities),
+                    "pairs": int(self.session.num_pairs),
+                    "wal_offset": offset,
+                    "snapshots": len(self.session.wal.snapshot_paths()),
+                    "bilateral": self.session.index.bilateral,
+                    "pruning": self.session.pruning.name,
+                    "num_shards": self.num_shards,
+                    "online_policy": {
+                        "name": self.session.online.name,
+                        "threshold": float(self.session.online.threshold),
+                    },
+                },
+                "shards": self.router.shard_stats(offset),
+                "metrics": self.metrics.snapshot(),
+            }
+        raise ProtocolError(f"unroutable read {op!r}")  # pragma: no cover

@@ -1,0 +1,186 @@
+"""Serving-side observability: latency histograms, counters and gauges.
+
+:class:`ServerMetrics` is the daemon's single metrics registry.  Every
+request is recorded into a per-operation :class:`LatencyHistogram`
+(geometric buckets from 10µs to ~100s, plus exact count/sum/max), and the
+two dispatch queues (the single-threaded mutation executor and the
+single-threaded read executor) expose their depths as gauges.  The
+``stats`` endpoint serialises the registry with :meth:`ServerMetrics.snapshot`;
+``repro client stats`` renders it with :func:`render_stats` — the
+observability seed the ROADMAP's serving item asks for.
+
+Everything is guarded by one lock: recordings come from the asyncio loop,
+the mutation thread and the read thread concurrently.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, List, Optional, Tuple
+
+#: histogram bucket upper bounds in seconds: 10^(-5) .. 10^2, four buckets
+#: per decade (geometric, factor 10^(1/4) ≈ 1.78)
+BUCKET_BOUNDS: Tuple[float, ...] = tuple(
+    10.0 ** (exponent / 4.0) for exponent in range(-20, 9)
+)
+
+
+class LatencyHistogram:
+    """Latency distribution over fixed geometric buckets.
+
+    Percentiles are read from the bucket boundaries (the reported value is
+    the upper bound of the bucket the rank falls in — an overestimate by at
+    most one bucket width), while count, mean and max are exact.
+    """
+
+    def __init__(self) -> None:
+        self._counts = [0] * (len(BUCKET_BOUNDS) + 1)
+        self.count = 0
+        self.total_seconds = 0.0
+        self.max_seconds = 0.0
+
+    def add(self, seconds: float) -> None:
+        """Record one observation."""
+        position = 0
+        for bound in BUCKET_BOUNDS:
+            if seconds <= bound:
+                break
+            position += 1
+        self._counts[position] += 1
+        self.count += 1
+        self.total_seconds += seconds
+        if seconds > self.max_seconds:
+            self.max_seconds = seconds
+
+    def percentile(self, fraction: float) -> float:
+        """The bucket upper bound covering the ``fraction`` rank (0..1)."""
+        if self.count == 0:
+            return 0.0
+        rank = max(1, int(fraction * self.count + 0.5))
+        seen = 0
+        for position, bucket_count in enumerate(self._counts):
+            seen += bucket_count
+            if seen >= rank:
+                if position < len(BUCKET_BOUNDS):
+                    return BUCKET_BOUNDS[position]
+                return self.max_seconds
+        return self.max_seconds
+
+    def summary(self) -> Dict[str, float]:
+        """Count, mean and estimated p50/p99 in milliseconds."""
+        mean = self.total_seconds / self.count if self.count else 0.0
+        return {
+            "count": self.count,
+            "mean_ms": mean * 1e3,
+            "p50_ms": self.percentile(0.50) * 1e3,
+            "p99_ms": self.percentile(0.99) * 1e3,
+            "max_ms": self.max_seconds * 1e3,
+        }
+
+
+class ServerMetrics:
+    """The daemon's thread-safe metrics registry."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._histograms: Dict[str, LatencyHistogram] = {}
+        self._errors: Dict[str, int] = {}
+        self._gauges: Dict[str, int] = {
+            "mutation_queue_depth": 0,
+            "read_queue_depth": 0,
+        }
+        self.connections_total = 0
+        self.connections_open = 0
+
+    def record(self, op: str, seconds: float, ok: bool) -> None:
+        """Record one served request."""
+        with self._lock:
+            histogram = self._histograms.get(op)
+            if histogram is None:
+                histogram = self._histograms[op] = LatencyHistogram()
+            histogram.add(seconds)
+            if not ok:
+                self._errors[op] = self._errors.get(op, 0) + 1
+
+    def adjust_gauge(self, name: str, delta: int) -> None:
+        """Move a queue-depth gauge up or down."""
+        with self._lock:
+            self._gauges[name] = self._gauges.get(name, 0) + delta
+
+    def connection_opened(self) -> None:
+        with self._lock:
+            self.connections_total += 1
+            self.connections_open += 1
+
+    def connection_closed(self) -> None:
+        with self._lock:
+            self.connections_open -= 1
+
+    def snapshot(self) -> Dict[str, Any]:
+        """A JSON-encodable view of every counter, gauge and histogram."""
+        with self._lock:
+            return {
+                "operations": {
+                    op: dict(
+                        histogram.summary(), errors=self._errors.get(op, 0)
+                    )
+                    for op, histogram in sorted(self._histograms.items())
+                },
+                "queues": dict(self._gauges),
+                "connections": {
+                    "total": self.connections_total,
+                    "open": self.connections_open,
+                },
+            }
+
+
+def render_stats(stats: Dict[str, Any]) -> str:
+    """Human-readable rendering of a ``stats`` response (``repro client stats``)."""
+    lines: List[str] = []
+    daemon = stats.get("daemon", {})
+    if daemon:
+        lines.append(
+            f"daemon: {daemon.get('entities', 0)} live entities, "
+            f"{daemon.get('pairs', 0)} candidate pairs, "
+            f"WAL offset {daemon.get('wal_offset', 0)}"
+        )
+        policy = daemon.get("online_policy")
+        if policy:
+            lines.append(
+                f"  online policy {policy.get('name')}, "
+                f"threshold {policy.get('threshold', 0.0):.3f}"
+            )
+    shards = stats.get("shards") or []
+    for shard in shards:
+        lines.append(
+            f"shard {shard.get('shard')}: {shard.get('blocks', 0)} blocks "
+            f"({shard.get('spawning_blocks', 0)} spawning), "
+            f"{shard.get('pairs', 0)} shard-local pairs, "
+            f"offset {shard.get('offset', 0)}"
+        )
+    metrics = stats.get("metrics", {})
+    queues = metrics.get("queues", {})
+    if queues:
+        lines.append(
+            "queues: "
+            + ", ".join(f"{name}={depth}" for name, depth in sorted(queues.items()))
+        )
+    connections = metrics.get("connections")
+    if connections:
+        lines.append(
+            f"connections: {connections.get('open', 0)} open / "
+            f"{connections.get('total', 0)} total"
+        )
+    operations = metrics.get("operations", {})
+    if operations:
+        lines.append("per-op latency:")
+        for op, values in operations.items():
+            lines.append(
+                f"  {op:<12} n={values.get('count', 0):<6} "
+                f"mean={values.get('mean_ms', 0.0):.3f}ms "
+                f"p50={values.get('p50_ms', 0.0):.3f}ms "
+                f"p99={values.get('p99_ms', 0.0):.3f}ms "
+                f"max={values.get('max_ms', 0.0):.3f}ms "
+                f"errors={values.get('errors', 0)}"
+            )
+    return "\n".join(lines) if lines else "no stats reported"

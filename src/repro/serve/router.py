@@ -1,0 +1,365 @@
+"""Pinned read views over the shard workers' states.
+
+A ``match`` or ``top_k`` query pins a WAL offset, asks every shard worker
+for its read state *at exactly that offset*, and assembles the states into
+a :class:`~repro.incremental.ShardedMutableBlockIndex` whose shards are
+lightweight :class:`ShardStateStub` objects duck-typing the
+:class:`~repro.incremental.MutableBlockIndex` read surface.  Everything
+downstream — the merged pair union, the shard-major CSR concatenation,
+:class:`~repro.incremental.sharded.ShardedStatistics`, canonical
+renumbering, snapshot blocks — is the PR 5 merge contract reused verbatim,
+so a pinned read computes **exactly** what an offline
+:class:`~repro.incremental.MatchingSession` computes after replaying the
+same log prefix (the sharded/unsharded equivalence already proven by
+``tests/incremental/test_sharded_index.py``).
+
+Entity-id resolution is delegated to a caller-provided function: node ids
+are append-only in the authority index (slots are tombstoned, never
+reused), so the daemon's live ``entity_id(node)`` is correct for any node
+that exists at *any* pinned offset ≤ the current one.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.pruning import SupervisedPruningAlgorithm
+from ..datamodel import Block, BlockCollection, CandidateSet, EntityIndexSpace
+from ..incremental.delta import DeltaFeatureGenerator
+from ..incremental.index import pack_pair_keys
+from ..incremental.sharded import ShardedMutableBlockIndex
+from ..weights.sparse import EntityBlockCSR
+from .workers import ShardWorkerHandle
+
+
+class _ArrayCell:
+    """Duck-types ``_Growable`` for read access: ``.view()`` over a plain array."""
+
+    __slots__ = ("_array",)
+
+    def __init__(self, array: np.ndarray) -> None:
+        self._array = array
+
+    def view(self) -> np.ndarray:
+        return self._array
+
+    def __len__(self) -> int:
+        return self._array.size
+
+    def __getitem__(self, key):
+        return self._array[key]
+
+
+class ShardStateStub:
+    """One shard's shipped read state behind the index read surface.
+
+    Implements exactly the attributes and methods the sharded merge layer
+    touches on its shards: the ``_Growable``-shaped aggregate arrays, the
+    alive-filtered pair registry (``_pair_alive`` is all-True because the
+    worker pre-filters), :meth:`csr`, :meth:`snapshot_blocks` and the
+    node-registry helpers.
+    """
+
+    def __init__(
+        self,
+        arrays: Dict[str, np.ndarray],
+        meta: Dict[str, Any],
+        resolve_entity_id: Callable[[int], str],
+    ) -> None:
+        self.bilateral = bool(meta["bilateral"])
+        self.name = meta["name"]
+        self.num_blocks = int(meta["num_blocks"])
+        self.num_nonempty_blocks = int(meta["num_nonempty_blocks"])
+        self.total_cardinality = int(meta["total_cardinality"])
+        self._side_counts = list(meta["side_counts"])
+        self._block_keys = list(meta["block_keys"])
+        self._indptr_array = arrays["indptr"]
+        self._indices_array = arrays["indices"]
+        self._inverse_block_cardinalities = _ArrayCell(arrays["inv_block_cardinality"])
+        self._inverse_block_sizes = _ArrayCell(arrays["inv_block_size"])
+        self._blocks_per_entity = _ArrayCell(arrays["blocks_per_entity"])
+        self._entity_cardinality = _ArrayCell(arrays["entity_cardinality"])
+        self._entity_inv_cardinality = _ArrayCell(arrays["entity_inv_cardinality"])
+        self._entity_inv_size = _ArrayCell(arrays["entity_inv_size"])
+        self._pair_left = _ArrayCell(arrays["pair_left"])
+        self._pair_right = _ArrayCell(arrays["pair_right"])
+        self._pair_alive = _ArrayCell(
+            np.ones(arrays["pair_left"].size, dtype=np.bool_)
+        )
+        self._sides_array = arrays["sides"]
+        self._members_first = arrays["members_first"]
+        self._first_counts = arrays["first_counts"]
+        self._members_second = arrays["members_second"]
+        self._second_counts = arrays["second_counts"]
+        self._resolve = resolve_entity_id
+        self._canonical: Optional[np.ndarray] = None
+
+    # -- registry surface --------------------------------------------------------
+    @property
+    def num_slots(self) -> int:
+        return self._sides_array.size
+
+    @property
+    def num_entities(self) -> int:
+        return int(self._side_counts[0] + self._side_counts[1])
+
+    @property
+    def num_pairs(self) -> int:
+        return self._pair_left.view().size
+
+    def sides(self) -> np.ndarray:
+        return self._sides_array
+
+    def side_of(self, node: int) -> int:
+        return int(self._sides_array[node])
+
+    def is_live(self, node: int) -> bool:
+        return int(self._sides_array[node]) >= 0
+
+    def entity_id(self, node: int) -> str:
+        return self._resolve(int(node))
+
+    def index_space(self) -> EntityIndexSpace:
+        if self.bilateral:
+            return EntityIndexSpace(self._side_counts[0], self._side_counts[1])
+        return EntityIndexSpace(self._side_counts[0])
+
+    def canonical_node_ids(self) -> np.ndarray:
+        if self._canonical is None:
+            sides = self._sides_array
+            canonical = np.full(sides.size, -1, dtype=np.int64)
+            first_nodes = np.flatnonzero(sides == 0)
+            canonical[first_nodes] = np.arange(first_nodes.size, dtype=np.int64)
+            second_nodes = np.flatnonzero(sides == 1)
+            canonical[second_nodes] = first_nodes.size + np.arange(
+                second_nodes.size, dtype=np.int64
+            )
+            self._canonical = canonical
+        return self._canonical
+
+    def canonical_candidates(self, candidates: CandidateSet) -> CandidateSet:
+        canonical = self.canonical_node_ids()
+        left = canonical[candidates.left]
+        right = canonical[candidates.right]
+        if left.size and (np.any(left < 0) or np.any(right < 0)):
+            raise ValueError("candidate set references removed entities")
+        return CandidateSet(
+            np.minimum(left, right), np.maximum(left, right), self.index_space()
+        )
+
+    # -- block surface -----------------------------------------------------------
+    def csr(self) -> EntityBlockCSR:
+        return EntityBlockCSR(
+            indptr=self._indptr_array,
+            indices=self._indices_array,
+            num_blocks=self.num_blocks,
+        )
+
+    def snapshot_blocks(self) -> BlockCollection:
+        canonical = self.canonical_node_ids()
+        blocks: List[Block] = []
+        first_position = 0
+        second_position = 0
+        for offset, key in enumerate(self._block_keys):
+            first_end = first_position + int(self._first_counts[offset])
+            second_end = second_position + int(self._second_counts[offset])
+            blocks.append(
+                Block(
+                    key=key,
+                    entities_first=sorted(
+                        int(canonical[node])
+                        for node in self._members_first[first_position:first_end]
+                    ),
+                    entities_second=sorted(
+                        int(canonical[node])
+                        for node in self._members_second[second_position:second_end]
+                    ),
+                )
+            )
+            first_position = first_end
+            second_position = second_end
+        return BlockCollection(blocks, self.index_space(), name=self.name)
+
+
+def build_pinned_view(
+    states: Sequence[Dict[str, Any]],
+    resolve_entity_id: Callable[[int], str],
+    name: str = "serve-pinned",
+) -> ShardedMutableBlockIndex:
+    """Assemble shard states into a read-only sharded index view.
+
+    The view is a real :class:`ShardedMutableBlockIndex` (built without
+    ``__init__``) whose shards are :class:`ShardStateStub` objects — every
+    merged read path (``candidate_set``, ``statistics``,
+    ``canonical_candidates``, ``snapshot_blocks``) runs the PR 5 merge code
+    unchanged.  All states must be pinned at the same WAL offset.
+    """
+    if not states:
+        raise ValueError("at least one shard state is required")
+    offsets = {int(state["meta"]["offset"]) for state in states}
+    if len(offsets) != 1:
+        raise ValueError(f"shard states pin different offsets: {sorted(offsets)}")
+    view = ShardedMutableBlockIndex.__new__(ShardedMutableBlockIndex)
+    view.blocking = None
+    view.bilateral = bool(states[0]["meta"]["bilateral"])
+    view.num_shards = len(states)
+    view.name = name
+    view.executor = None
+    view.shards = [
+        ShardStateStub(state["arrays"], state["meta"], resolve_entity_id)
+        for state in states
+    ]
+    view._mutations = 0
+    view._pairs_cache = None
+    view._wal = None
+    return view
+
+
+# -- query evaluation over a pinned view -----------------------------------------
+
+def _oriented_pair(view, i: int, j: int) -> Tuple[str, str]:
+    """Order a retained pair (first side, second side) when bilateral."""
+    if view.bilateral and view.side_of(i) == 1:
+        i, j = j, i
+    return (view.entity_id(i), view.entity_id(j))
+
+
+def match_answer(
+    view: ShardedMutableBlockIndex,
+    model,
+    pruning: SupervisedPruningAlgorithm,
+) -> Dict[str, Any]:
+    """The exact retained set at the view's pinned offset.
+
+    Mirrors :meth:`MatchingSession.retained` — features over every live
+    pair, frozen-model scoring, canonical renumbering, batch pruning —
+    against the pinned view instead of the live index.  The retained list
+    is sorted by entity-id pair, so the response is byte-identical however
+    the pairs were distributed over shards.
+    """
+    features = DeltaFeatureGenerator(view, model.feature_set)
+    candidates, matrix = features.generate_all()
+    probabilities = model.score(matrix.values)
+    if len(candidates) == 0:
+        mask = np.zeros(0, dtype=bool)
+    else:
+        mask = pruning.prune(
+            probabilities,
+            view.canonical_candidates(candidates),
+            view.snapshot_blocks(),
+        )
+    retained = sorted(
+        [*_oriented_pair(view, int(i), int(j)), float(probability)]
+        for i, j, probability in zip(
+            candidates.left[mask], candidates.right[mask], probabilities[mask]
+        )
+    )
+    return {"num_candidates": len(candidates), "retained": retained}
+
+
+def top_k_answer(
+    view: ShardedMutableBlockIndex, model, node: int, k: int
+) -> List[Dict[str, Any]]:
+    """The ``k`` most likely matches of one entity at the pinned offset.
+
+    Scores only the pairs containing ``node`` (the delta feature path makes
+    point queries cheap); ties are broken deterministically by packed
+    candidate key.
+    """
+    candidates = view.candidate_set()
+    mask = (candidates.left == node) | (candidates.right == node)
+    left = candidates.left[mask]
+    right = candidates.right[mask]
+    if left.size == 0:
+        return []
+    subset = CandidateSet(left, right, view.index_space())
+    features = DeltaFeatureGenerator(view, model.feature_set)
+    probabilities = model.score(features.generate(subset).values)
+    keys = pack_pair_keys(left, right)
+    order = np.lexsort((keys, -probabilities))[: max(0, int(k))]
+    matches = []
+    for position in order.tolist():
+        counterpart = int(right[position] if left[position] == node else left[position])
+        matches.append(
+            {
+                "entity_id": view.entity_id(counterpart),
+                "side": view.side_of(counterpart),
+                "probability": float(probabilities[position]),
+            }
+        )
+    return matches
+
+
+class ShardRouter:
+    """The daemon's fleet of shard workers plus the pinned-view assembly."""
+
+    def __init__(
+        self,
+        wal_dir,
+        num_shards: int,
+        resolve_entity_id: Callable[[int], str],
+        start_method: Optional[str] = None,
+        bootstrap=None,
+    ) -> None:
+        if num_shards < 1:
+            raise ValueError("num_shards must be at least 1")
+        self.wal_dir = wal_dir
+        self.num_shards = num_shards
+        self._resolve = resolve_entity_id
+        self._start_method = start_method
+        #: the snapshot the authority was rebuilt from, if it recovered —
+        #: replicas bootstrap from the same file to share its node space
+        self._bootstrap = bootstrap
+        self._handles: List[ShardWorkerHandle] = []
+
+    def start(self) -> "ShardRouter":
+        """Spawn one worker per shard (idempotent)."""
+        if not self._handles:
+            self._handles = [
+                ShardWorkerHandle(
+                    self.wal_dir,
+                    shard,
+                    self.num_shards,
+                    self._start_method,
+                    bootstrap=self._bootstrap,
+                )
+                for shard in range(self.num_shards)
+            ]
+        return self
+
+    def __enter__(self) -> "ShardRouter":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    def _fan_out(self, command) -> List[Any]:
+        """Send a command to every worker first, then collect — workers
+        compute concurrently."""
+        for handle in self._handles:
+            handle.send(command)
+        return [handle.collect() for handle in self._handles]
+
+    def pinned_view(
+        self, offset: int, lookup: Optional[Tuple[int, str]] = None
+    ) -> Tuple[ShardedMutableBlockIndex, int]:
+        """A read view pinned at ``offset`` plus the optional node lookup."""
+        payloads = self._fan_out(("read", int(offset), lookup))
+        states = [ShardWorkerHandle.materialize(payload) for payload in payloads]
+        view = build_pinned_view(states, self._resolve)
+        return view, int(states[0]["meta"]["lookup_node"])
+
+    def shard_stats(self, offset: int) -> List[Dict[str, Any]]:
+        """Per-shard counters at ``offset``."""
+        return self._fan_out(("stats", int(offset)))
+
+    def ping(self) -> List[Dict[str, Any]]:
+        return self._fan_out(("ping",))
+
+    def stop(self) -> None:
+        """Stop every worker (idempotent)."""
+        handles, self._handles = self._handles, []
+        for handle in handles:
+            handle.stop()

@@ -1,0 +1,530 @@
+"""Shard-affine worker processes for the matching service.
+
+Each worker owns one *signature shard* of the daemon's index: a
+:class:`ShardReplica` holds a :class:`~repro.incremental.MutableBlockIndex`
+restricted to the signatures that hash to its shard
+(:func:`repro.parallel.shard_of_signature` — the PR 5 routing contract), and
+keeps it current by tailing the daemon's write-ahead log directly with a
+:class:`WalRecordFollower`.  The WAL **is** the replication transport: the
+daemon appends (and flushes) every mutation before publishing its offset,
+so a worker told to catch up to a pinned offset can always read exactly the
+bytes behind it — replay-to-offset is what makes reads snapshot-consistent.
+
+Workers ship their shard's read-state arrays back through the same
+shared-memory discipline as :class:`repro.parallel.ParallelExecutor`
+(:mod:`repro.parallel.shm`): each worker keeps a registry of named export
+slots (one reusable segment per state array, grown geometrically), writes
+the current arrays into them and sends only handles plus small metadata
+over its pipe.  The parent attaches, copies, and assembles the per-shard
+states into a pinned read view (:mod:`repro.serve.router`).
+"""
+
+from __future__ import annotations
+
+import json
+import traceback
+import zlib
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..incremental.index import MutableBlockIndex, UnknownEntityError
+from ..parallel.planner import shard_of_signature
+from ..parallel.shm import SharedArray, SharedArrayHandle, attach_view
+from ..persistence.log import LOG_MAGIC, MAX_RECORD_BYTES, _RECORD_HEADER
+
+
+class WalFollowError(RuntimeError):
+    """The log cannot be followed to the requested offset."""
+
+
+class WorkerError(RuntimeError):
+    """A shard worker failed while serving a command."""
+
+
+class WalRecordFollower:
+    """Incremental reader of a live ``wal.log``.
+
+    Tracks a byte position and parses complete frames from it up to a
+    target offset.  The target must be a record boundary the writer has
+    already flushed — which every offset published by
+    :meth:`WriteAheadLog.append_record` is, because the record bytes are
+    written and flushed *before* the offset becomes observable.
+    """
+
+    def __init__(self, log_path) -> None:
+        self.log_path = Path(log_path)
+        self._file = None
+        #: byte position just past the last record handed out
+        self.position = 0
+
+    def _ensure_open(self) -> None:
+        if self._file is not None:
+            return
+        self._file = open(self.log_path, "rb")
+        magic = self._file.read(len(LOG_MAGIC))
+        if magic != LOG_MAGIC:
+            self._file.close()
+            self._file = None
+            raise WalFollowError(f"{self.log_path} is not a repro write-ahead log")
+        self.position = len(LOG_MAGIC)
+
+    def seek_to(self, offset: int) -> None:
+        """Skip directly to ``offset`` without parsing the bytes behind it.
+
+        Used when a snapshot vouches for everything before ``offset`` — the
+        replica's bootstrap state already reflects those records.
+        """
+        self._ensure_open()
+        if offset < self.position:
+            raise WalFollowError(
+                f"cannot seek back to {offset} from {self.position}; "
+                "replicas never rewind"
+            )
+        self.position = offset
+
+    def advance_to(self, target: int) -> List[Dict[str, Any]]:
+        """Parse and return every record between the current position and
+        ``target`` (exclusive of nothing: the range must end exactly on a
+        record boundary)."""
+        self._ensure_open()
+        if target < self.position:
+            raise WalFollowError(
+                f"pinned offset {target} is behind the replica's position "
+                f"{self.position}; replicas never rewind"
+            )
+        if target == self.position:
+            return []
+        self._file.seek(self.position)
+        data = self._file.read(target - self.position)
+        if len(data) != target - self.position:
+            raise WalFollowError(
+                f"log holds {self.position + len(data)} bytes but offset "
+                f"{target} was pinned; the writer publishes offsets only "
+                "after flushing, so this log is not the pinning daemon's"
+            )
+        records: List[Dict[str, Any]] = []
+        cursor = 0
+        header_size = _RECORD_HEADER.size
+        while cursor < len(data):
+            if cursor + header_size > len(data):
+                raise WalFollowError(f"offset {target} is not a record boundary")
+            length, crc = _RECORD_HEADER.unpack_from(data, cursor)
+            end = cursor + header_size + length
+            if length > MAX_RECORD_BYTES or end > len(data):
+                raise WalFollowError(f"offset {target} is not a record boundary")
+            payload = data[cursor + header_size : end]
+            if zlib.crc32(payload) != crc:
+                raise WalFollowError(
+                    f"corrupt record at byte {self.position + cursor}"
+                )
+            records.append(json.loads(payload.decode("utf-8")))
+            cursor = end
+        self.position = target
+        return records
+
+    def close(self) -> None:
+        if self._file is not None:
+            self._file.close()
+            self._file = None
+
+
+class ShardReplica:
+    """Shard ``k``'s live index, fed by the write-ahead log.
+
+    Applies every logged operation with its signatures filtered to the
+    shard (empty rows still register the entity — the PR 5 contract that
+    keeps node ids identical across shards), through the same ``_apply_*``
+    entry points recovery replays through.
+    """
+
+    def __init__(
+        self, wal_dir, shard: int, num_shards: int, bootstrap=None
+    ) -> None:
+        self.wal_dir = Path(wal_dir)
+        self.shard = shard
+        self.num_shards = num_shards
+        self.follower = WalRecordFollower(self.wal_dir / "wal.log")
+        self.index: Optional[MutableBlockIndex] = None
+        self.bilateral = False
+        #: optional snapshot file to bootstrap from — REQUIRED when the
+        #: daemon recovered: recovery rebuilds the authority index from a
+        #: snapshot (compacted, renumbered node ids), so a replica must
+        #: start from the *same* snapshot to live in the same node space
+        self.bootstrap = Path(bootstrap) if bootstrap is not None else None
+
+    @property
+    def offset(self) -> int:
+        """The log offset the replica's state reflects."""
+        return self.follower.position
+
+    def _filter(self, signatures: Sequence[str]) -> List[str]:
+        return [
+            signature
+            for signature in signatures
+            if shard_of_signature(signature, self.num_shards) == self.shard
+        ]
+
+    def catch_up(self, offset: int) -> None:
+        """Replay the log through this shard up to exactly ``offset``."""
+        if self.index is None and self.bootstrap is not None:
+            self._load_bootstrap()
+        for record in self.follower.advance_to(offset):
+            self.apply(record)
+
+    def _load_bootstrap(self) -> None:
+        """Rebuild the shard from a snapshot, exactly as recovery rebuilds
+        the authority: per-side bulk load of the live entities (signatures
+        shard-filtered), then tail the log from the snapshot's offset.
+
+        The rebuild assigns the same node ids the authority's
+        :func:`~repro.persistence.snapshot.build_index_from_state` call
+        assigned — every shard registers every entity, so registration
+        order (and with it the node numbering) is snapshot order on both
+        sides of the pipe.
+        """
+        from ..persistence.log import WriteAheadLog
+
+        state = WriteAheadLog(self.wal_dir).load_snapshot(self.bootstrap)
+        if state is None:
+            raise WalFollowError(
+                f"bootstrap snapshot {self.bootstrap} is missing or corrupt"
+            )
+        index_state = state["index"]
+        self.bilateral = bool(index_state["bilateral"])
+        self.index = MutableBlockIndex(
+            bilateral=self.bilateral,
+            name=f"{index_state.get('name') or 'serve'}#shard{self.shard}",
+        )
+        for side in sorted(index_state["sides"]):
+            entries = [
+                (entity_id, self._filter(signatures))
+                for entity_id, signatures in index_state["sides"][side]
+            ]
+            if entries:
+                self.index._apply_bulk(entries, int(side))
+        self.follower.seek_to(int(state["log_offset"]))
+
+    def apply(self, record: Dict[str, Any]) -> None:
+        """Apply one logical WAL record, shard-filtered."""
+        op = record["op"]
+        if op == "meta":
+            self.bilateral = bool(record.get("bilateral", False))
+            self.index = MutableBlockIndex(
+                bilateral=self.bilateral,
+                name=f"{record.get('name', 'serve')}#shard{self.shard}",
+            )
+            return
+        if self.index is None:
+            raise WalFollowError("the log carries operations before its meta record")
+        if op == "add":
+            self.index._apply_insert(
+                record["id"], record["side"], self._filter(record["sig"])
+            )
+        elif op == "bulk":
+            self.index._apply_bulk(
+                [
+                    (entity_id, self._filter(signatures))
+                    for entity_id, signatures in record["entities"]
+                ],
+                record["side"],
+            )
+        elif op == "remove":
+            self.index.remove_entity(record["id"], side=record["side"])
+        elif op == "update":
+            self.index._apply_update(
+                record["id"], record["side"], self._filter(record["sig"])
+            )
+        else:
+            raise WalFollowError(f"unknown WAL record op {op!r}")
+
+    # -- read-state extraction ---------------------------------------------------
+    def read_state(self, lookup: Optional[Tuple[int, str]] = None) -> Dict[str, Any]:
+        """The shard's complete read surface as plain arrays + metadata.
+
+        ``lookup`` optionally resolves ``(side, entity_id)`` to its node id
+        at this state (every shard holds the full entity registry, so any
+        shard can answer); unknown entities resolve to -1.
+        """
+        index = self.index
+        if index is None:
+            raise WalFollowError(
+                "the replica has not reached the log's meta record yet"
+            )
+        alive = index._pair_alive.view()
+        cardinalities = index._block_cardinalities.view()
+        spawning = np.flatnonzero(cardinalities > 0)
+        spawn_list = spawning.tolist()
+        first_lists = [index._members_first[b] for b in spawn_list]
+        second_lists = [index._members_second[b] for b in spawn_list]
+        first_counts = np.fromiter(
+            (len(members) for members in first_lists),
+            dtype=np.int64,
+            count=len(first_lists),
+        )
+        second_counts = np.fromiter(
+            (len(members) for members in second_lists),
+            dtype=np.int64,
+            count=len(second_lists),
+        )
+        arrays = {
+            "indptr": index._indptr.view(),
+            "indices": index._indices.view(),
+            "inv_block_cardinality": index._inverse_block_cardinalities.view(),
+            "inv_block_size": index._inverse_block_sizes.view(),
+            "blocks_per_entity": index._blocks_per_entity.view(),
+            "entity_cardinality": index._entity_cardinality.view(),
+            "entity_inv_cardinality": index._entity_inv_cardinality.view(),
+            "entity_inv_size": index._entity_inv_size.view(),
+            "pair_left": index._pair_left.view()[alive],
+            "pair_right": index._pair_right.view()[alive],
+            "sides": index._sides.view(),
+            "members_first": np.fromiter(
+                (node for members in first_lists for node in members),
+                dtype=np.int64,
+                count=int(first_counts.sum()),
+            ),
+            "first_counts": first_counts,
+            "members_second": np.fromiter(
+                (node for members in second_lists for node in members),
+                dtype=np.int64,
+                count=int(second_counts.sum()),
+            ),
+            "second_counts": second_counts,
+        }
+        lookup_node = -1
+        if lookup is not None:
+            side, entity_id = lookup
+            try:
+                lookup_node = index.node_of(entity_id, side=int(side))
+            except UnknownEntityError:
+                lookup_node = -1
+        meta = {
+            "shard": self.shard,
+            "offset": self.offset,
+            "bilateral": self.bilateral,
+            "name": index.name,
+            "num_blocks": index.num_blocks,
+            "num_nonempty_blocks": index.num_nonempty_blocks,
+            "total_cardinality": index.total_cardinality,
+            "side_counts": tuple(index._side_counts),
+            "block_keys": [index._block_keys[b] for b in spawn_list],
+            "lookup_node": int(lookup_node),
+        }
+        return {"arrays": arrays, "meta": meta}
+
+    def shard_stats(self) -> Dict[str, Any]:
+        """Small per-shard counters for the ``stats`` endpoint."""
+        index = self.index
+        if index is None:
+            return {"shard": self.shard, "offset": self.offset, "blocks": 0,
+                    "spawning_blocks": 0, "pairs": 0, "entities": 0, "slots": 0}
+        return {
+            "shard": self.shard,
+            "offset": self.offset,
+            "blocks": index.num_blocks,
+            "spawning_blocks": index.num_nonempty_blocks,
+            "pairs": index.num_pairs,
+            "entities": index.num_entities,
+            "slots": index.num_slots,
+        }
+
+    def close(self) -> None:
+        self.follower.close()
+
+
+class ExportSlots:
+    """A worker's persistent registry of named shared-memory export slots.
+
+    One reusable segment per state array: grown geometrically when an
+    export outgrows its capacity (the old segment is unlinked), written in
+    place otherwise.  Only handles sized to the *actual* array length cross
+    the pipe — the parent never sees the slack capacity.
+    """
+
+    def __init__(self) -> None:
+        self._slots: Dict[str, SharedArray] = {}
+
+    def export(self, name: str, array: np.ndarray) -> SharedArrayHandle:
+        array = np.ascontiguousarray(array)
+        slot = self._slots.get(name)
+        if (
+            slot is None
+            or slot.array.dtype != array.dtype
+            or slot.array.size < array.size
+        ):
+            if slot is not None:
+                slot.close()
+            capacity = max(1, 2 * array.size)
+            slot = SharedArray(shape=(capacity,), dtype=array.dtype)
+            self._slots[name] = slot
+        slot.array[: array.size] = array
+        return SharedArrayHandle(
+            name=slot.handle.name, shape=(array.size,), dtype=array.dtype.str
+        )
+
+    def close(self) -> None:
+        for slot in self._slots.values():
+            slot.close()
+        self._slots.clear()
+
+
+def shard_worker_main(
+    connection, wal_dir: str, shard: int, num_shards: int, bootstrap=None
+) -> None:
+    """A shard worker's process body: serve commands until told to stop.
+
+    Commands arrive as tuples on the pipe:
+
+    * ``("ping",)`` — liveness check;
+    * ``("read", offset, lookup)`` — catch up to the pinned offset and ship
+      the shard's read state (arrays as shared-memory handles);
+    * ``("stats", offset)`` — catch up and return small counters;
+    * ``("stop",)`` — clean up and exit.
+
+    Every reply is ``("ok", payload)`` or ``("error", type, message, trace)``;
+    a failed command never kills the worker loop.
+    """
+    replica = ShardReplica(wal_dir, shard, num_shards, bootstrap=bootstrap)
+    exports = ExportSlots()
+    try:
+        while True:
+            try:
+                command = connection.recv()
+            except (EOFError, OSError):
+                break
+            name = command[0]
+            try:
+                if name == "ping":
+                    connection.send(("ok", {"shard": shard, "offset": replica.offset}))
+                elif name == "read":
+                    _, offset, lookup = command
+                    replica.catch_up(int(offset))
+                    state = replica.read_state(lookup)
+                    handles = {
+                        key: exports.export(key, array)
+                        for key, array in state["arrays"].items()
+                    }
+                    connection.send(("ok", {"handles": handles, "meta": state["meta"]}))
+                elif name == "stats":
+                    _, offset = command
+                    replica.catch_up(int(offset))
+                    connection.send(("ok", replica.shard_stats()))
+                elif name == "stop":
+                    connection.send(("ok", None))
+                    break
+                else:
+                    connection.send(
+                        ("error", "protocol", f"unknown worker command {name!r}", "")
+                    )
+            except Exception as error:  # noqa: BLE001 - forwarded to the parent
+                connection.send(
+                    (
+                        "error",
+                        type(error).__name__,
+                        str(error),
+                        traceback.format_exc(),
+                    )
+                )
+    finally:
+        exports.close()
+        replica.close()
+        try:
+            connection.close()
+        except OSError:
+            pass
+
+
+class ShardWorkerHandle:
+    """Parent-side handle on one long-lived shard worker process."""
+
+    def __init__(
+        self,
+        wal_dir,
+        shard: int,
+        num_shards: int,
+        start_method: Optional[str] = None,
+        bootstrap=None,
+    ) -> None:
+        import multiprocessing
+
+        from ..parallel.executor import _preferred_start_method
+
+        self.shard = shard
+        context = multiprocessing.get_context(
+            start_method or _preferred_start_method()
+        )
+        self._connection, child = context.Pipe(duplex=True)
+        self._process = context.Process(
+            target=shard_worker_main,
+            args=(
+                child,
+                str(wal_dir),
+                shard,
+                num_shards,
+                str(bootstrap) if bootstrap is not None else None,
+            ),
+            name=f"repro-serve-shard-{shard}",
+            daemon=True,
+        )
+        self._process.start()
+        child.close()
+
+    # -- dispatch (send and collect split so the router can fan out) -------------
+    def send(self, command: Tuple) -> None:
+        self._connection.send(command)
+
+    def collect(self) -> Any:
+        try:
+            reply = self._connection.recv()
+        except (EOFError, OSError) as error:
+            raise WorkerError(
+                f"shard worker {self.shard} died mid-request: {error}"
+            ) from None
+        if reply[0] == "ok":
+            return reply[1]
+        _, error_type, message, trace = reply
+        raise WorkerError(
+            f"shard worker {self.shard} failed: {error_type}: {message}\n{trace}"
+        )
+
+    def request(self, command: Tuple) -> Any:
+        self.send(command)
+        return self.collect()
+
+    @staticmethod
+    def materialize(payload: Dict[str, Any]) -> Dict[str, Any]:
+        """Copy a ``read`` reply's shared-memory arrays into local memory.
+
+        The copy is required: the worker reuses its export slots on the
+        next request, so the attached views are only valid until then.
+        """
+        arrays = {
+            key: np.array(attach_view(handle), copy=True)
+            for key, handle in payload["handles"].items()
+        }
+        return {"arrays": arrays, "meta": payload["meta"]}
+
+    def read_state(
+        self, offset: int, lookup: Optional[Tuple[int, str]] = None
+    ) -> Dict[str, Any]:
+        return self.materialize(self.request(("read", int(offset), lookup)))
+
+    def stop(self, timeout: float = 5.0) -> None:
+        """Ask the worker to exit; escalate to terminate if it does not."""
+        if self._process.is_alive():
+            try:
+                self._connection.send(("stop",))
+                self._connection.recv()
+            except (EOFError, OSError, BrokenPipeError):
+                pass
+        self._process.join(timeout)
+        if self._process.is_alive():  # pragma: no cover - unclean fallback
+            self._process.terminate()
+            self._process.join(timeout)
+        self._connection.close()
+
+    @property
+    def alive(self) -> bool:
+        return self._process.is_alive()

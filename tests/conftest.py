@@ -25,6 +25,15 @@ from repro.datasets import load_benchmark, load_dirty_dataset
 from repro.weights import BlockStatistics
 
 
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "perf: wall-clock perf smoke test (skippable via REPRO_SKIP_PERF=1)"
+    )
+    config.addinivalue_line(
+        "markers", "slow: slower integration test (spawns daemon subprocesses)"
+    )
+
+
 # -- tiny hand-built fixture (the paper's running example, Figure 1) -----------------
 
 @pytest.fixture(scope="session")

@@ -104,6 +104,53 @@ class TestExecutorDispatch:
             executor.starmap(divmod, [(1, 1), (2, 1)])
 
 
+class TestExecutorLifecycle:
+    """The daemon keeps one executor alive for its whole lifetime, so the
+    close path must be idempotent, context-manager safe, and leak-free."""
+
+    def test_double_close_is_a_noop(self):
+        executor = ParallelExecutor(2)
+        executor.starmap(divmod, [(7, 3), (9, 2)])
+        executor.close()
+        assert executor.closed
+        executor.close()  # second close must not raise
+        assert executor.closed
+
+    def test_context_manager_after_explicit_close(self):
+        with ParallelExecutor(2) as executor:
+            executor.close()
+        assert executor.closed  # __exit__ after close() must not raise
+
+    def test_publish_after_close_refused(self):
+        executor = ParallelExecutor(2)
+        executor.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            executor.publish(np.arange(4))
+
+    def test_allocate_output_after_close_refused(self):
+        executor = ParallelExecutor(2)
+        executor.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            executor.allocate_output((4,), np.int64)
+
+    def test_close_unlinks_published_segments(self):
+        executor = ParallelExecutor(2)
+        source = np.arange(16, dtype=np.int64)
+        handle = executor.publish(source)
+        handle_out, _ = executor.allocate_output((4,), np.float64)
+        executor.close()
+        for stale in (handle, handle_out):
+            with pytest.raises(FileNotFoundError):
+                attach_view(stale)
+
+    def test_close_runs_even_without_pool(self):
+        # lazily-created pool: closing a never-used executor is safe
+        executor = ParallelExecutor(2)
+        executor.close()
+        executor.close()
+        assert executor.closed
+
+
 class TestShardPlanner:
     def test_stable_hash_is_process_independent(self):
         # frozen values: a salted hash would break cross-run reproducibility

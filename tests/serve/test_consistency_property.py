@@ -1,0 +1,215 @@
+"""Property test: every pinned-offset read equals the canonical view.
+
+Hypothesis generates random operation sequences (single inserts, bulk
+loads, removals, in-place updates, both sides).  The sequence is journaled
+through a WAL-backed :class:`MatchingSession`, and after *every* operation
+the WAL offset is pinned together with the session's canonical retained set
+at that moment.  Then shard replicas — created only after the full stream
+is on disk, so later records are always present behind each pinned offset —
+replay to each pin in turn, and the merged pinned view's ``match`` answer
+must equal the recorded canonical answer exactly: same pairs, same
+probabilities.  No torn reads, for every shard count.
+"""
+
+import shutil
+import tempfile
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from conftest import make_frozen_model, reference_retained
+from repro.datamodel import make_profile
+from repro.incremental import MatchingSession
+from repro.persistence.recovery import recover_session
+from repro.serve.router import build_pinned_view, match_answer
+from repro.serve.workers import ShardReplica, WalFollowError
+
+_TOKENS = ("alpha", "beta", "gamma", "delta", "eps", "zeta")
+_text = st.lists(st.sampled_from(_TOKENS), min_size=0, max_size=4).map(" ".join)
+
+MODEL = make_frozen_model()
+
+
+def _operations():
+    sides = st.sampled_from((0, 1))
+    return st.lists(
+        st.one_of(
+            st.tuples(st.just("add"), sides, _text),
+            st.tuples(
+                st.just("bulk"), sides, st.lists(_text, min_size=1, max_size=3)
+            ),
+            st.tuples(st.just("remove"), sides, st.integers(0, 32)),
+            st.tuples(st.just("update"), sides, st.integers(0, 32), _text),
+        ),
+        min_size=1,
+        max_size=12,
+    )
+
+
+def _stream(session, operations):
+    """Apply a generated op sequence; yield after every applied operation."""
+    live = ([], [])
+    serial = 0
+    for operation in operations:
+        kind, side = operation[0], operation[1]
+        if kind == "add":
+            serial += 1
+            entity_id = f"{'ab'[side]}{serial}"
+            session.insert(make_profile(entity_id, text=operation[2]), side=side)
+            live[side].append(entity_id)
+        elif kind == "bulk":
+            profiles = []
+            for text in operation[2]:
+                serial += 1
+                entity_id = f"{'ab'[side]}{serial}"
+                profiles.append(make_profile(entity_id, text=text))
+                live[side].append(entity_id)
+            session.insert_bulk(profiles, side=side)
+        elif kind == "remove":
+            if not live[side]:
+                continue
+            entity_id = live[side][operation[2] % len(live[side])]
+            session.remove(entity_id, side=side)
+            live[side].remove(entity_id)
+        else:  # update
+            if not live[side]:
+                continue
+            entity_id = live[side][operation[2] % len(live[side])]
+            session.update(make_profile(entity_id, text=operation[3]), side=side)
+        yield
+
+
+@settings(max_examples=20, deadline=None)
+@given(operations=_operations(), num_shards=st.sampled_from((1, 2, 3)))
+def test_every_pinned_offset_equals_canonical(operations, num_shards):
+    tmp = Path(tempfile.mkdtemp())
+    session = MatchingSession(MODEL, bilateral=True, wal_path=tmp)
+    try:
+        pinned = [(session.wal.log_offset, reference_retained(session))]
+        for _ in _stream(session, operations):
+            pinned.append((session.wal.log_offset, reference_retained(session)))
+        replicas = [
+            ShardReplica(tmp, shard, num_shards) for shard in range(num_shards)
+        ]
+        try:
+            for offset, reference in pinned:
+                for replica in replicas:
+                    replica.catch_up(offset)
+                view = build_pinned_view(
+                    [replica.read_state() for replica in replicas],
+                    session.index.entity_id,
+                )
+                answer = match_answer(view, MODEL, session.pruning)
+                assert answer["retained"] == reference
+        finally:
+            for replica in replicas:
+                replica.close()
+    finally:
+        session.close()
+        shutil.rmtree(tmp, ignore_errors=True)
+
+
+class TestFollowerContract:
+    def _session(self, tmp):
+        session = MatchingSession(MODEL, bilateral=True, wal_path=tmp)
+        for i, text in enumerate(("alpha beta", "beta gamma", "alpha gamma")):
+            session.insert(make_profile(f"a{i}", text=text), side=0)
+            session.insert(make_profile(f"b{i}", text=text), side=1)
+        return session
+
+    def test_replicas_never_rewind(self, tmp_path):
+        session = self._session(tmp_path)
+        try:
+            late = session.wal.log_offset
+            replica = ShardReplica(tmp_path, 0, 1)
+            replica.catch_up(late)
+            with pytest.raises(WalFollowError, match="never rewind"):
+                replica.catch_up(late - 1)
+            replica.close()
+        finally:
+            session.close()
+
+    def test_non_boundary_offset_rejected(self, tmp_path):
+        session = self._session(tmp_path)
+        try:
+            replica = ShardReplica(tmp_path, 0, 1)
+            with pytest.raises(WalFollowError, match="boundary"):
+                replica.catch_up(session.wal.log_offset - 1)
+            replica.close()
+        finally:
+            session.close()
+
+    def test_offset_past_log_end_rejected(self, tmp_path):
+        session = self._session(tmp_path)
+        try:
+            replica = ShardReplica(tmp_path, 0, 1)
+            with pytest.raises(WalFollowError):
+                replica.catch_up(session.wal.log_offset + 8)
+            replica.close()
+        finally:
+            session.close()
+
+    def test_non_wal_file_rejected(self, tmp_path):
+        (tmp_path / "wal.log").write_bytes(b"not a log at all")
+        replica = ShardReplica(tmp_path, 0, 1)
+        with pytest.raises(WalFollowError, match="not a repro write-ahead log"):
+            replica.catch_up(16)
+        replica.close()
+
+
+class TestSnapshotBootstrap:
+    def test_recovered_node_space_requires_snapshot_bootstrap(self, tmp_path):
+        """After recovery (which compacts node ids), replicas bootstrapped
+        from the recovery snapshot live in the authority's node space and
+        reproduce its canonical answer exactly."""
+        session = MatchingSession(MODEL, bilateral=True, wal_path=tmp_path)
+        for i, text in enumerate(
+            ("alpha beta", "beta gamma", "alpha gamma", "gamma delta")
+        ):
+            session.insert(make_profile(f"a{i}", text=text), side=0)
+            session.insert(make_profile(f"b{i}", text=text), side=1)
+        session.remove("a1", side=0)
+        snapshot_path = session.checkpoint()
+        session.insert(make_profile("a9", text="delta beta"), side=0)
+        session.close()
+
+        recovered = recover_session(tmp_path)
+        try:
+            recovered.insert(make_profile("b9", text="alpha delta"), side=1)
+            offset = recovered.wal.log_offset
+            replicas = [
+                ShardReplica(tmp_path, shard, 2, bootstrap=snapshot_path)
+                for shard in range(2)
+            ]
+            try:
+                for replica in replicas:
+                    replica.catch_up(offset)
+                view = build_pinned_view(
+                    [replica.read_state() for replica in replicas],
+                    recovered.index.entity_id,
+                )
+                answer = match_answer(view, MODEL, recovered.pruning)
+                assert answer["retained"] == reference_retained(recovered)
+            finally:
+                for replica in replicas:
+                    replica.close()
+        finally:
+            recovered.close()
+
+    def test_missing_bootstrap_snapshot_is_an_error(self, tmp_path):
+        session = self._tiny(tmp_path)
+        session.close()
+        replica = ShardReplica(
+            tmp_path, 0, 1, bootstrap=tmp_path / "snapshot-999999.snap"
+        )
+        with pytest.raises(WalFollowError, match="missing or corrupt"):
+            replica.catch_up(16)
+        replica.close()
+
+    @staticmethod
+    def _tiny(tmp_path):
+        session = MatchingSession(MODEL, bilateral=True, wal_path=tmp_path)
+        session.insert(make_profile("a0", text="alpha"), side=0)
+        return session
