@@ -10,12 +10,14 @@
 #   make bench-parallel    - sharded-engine scaling bench (speedup vs workers)
 #   make bench-wal         - WAL durability bench (journal overhead, recovery)
 #   make bench-serve       - serving bench (ingest rate, match tails, recovery)
+#   make bench-faults      - fault-recovery bench (worker MTTR, availability)
+#   make test-chaos        - seeded chaos suite (kill-loop against the daemon)
 #   make bench             - the full pytest-benchmark harness
 
 PYTHON ?= python
 PYTEST  = PYTHONPATH=src $(PYTHON) -m pytest
 
-.PHONY: test test-equivalence test-fast bench-smoke bench-stream bench-churn bench-blocking bench-parallel bench-wal bench-serve bench
+.PHONY: test test-equivalence test-fast test-chaos bench-smoke bench-stream bench-churn bench-blocking bench-parallel bench-wal bench-serve bench-faults bench
 
 test:
 	$(PYTEST) -x -q
@@ -46,6 +48,12 @@ bench-wal:
 
 bench-serve:
 	$(PYTEST) -q benchmarks/bench_serve.py
+
+bench-faults:
+	$(PYTEST) -q benchmarks/bench_fault_recovery.py
+
+test-chaos:
+	$(PYTEST) -q -m chaos tests/faults/
 
 bench:
 	$(PYTEST) -q benchmarks/ -o python_files='bench_*.py' --benchmark-only

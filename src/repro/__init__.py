@@ -87,7 +87,7 @@ from .incremental import (
     ShardedMutableBlockIndex,
 )
 from .ml import GaussianNB, LinearSVC, LogisticRegression
-from .parallel import ParallelExecutor, ShardPlanner
+from .parallel import ParallelExecutor, ShardPlanner, WorkerCrashError
 from .weights import (
     BLAST_FEATURE_SET,
     BlockStatistics,
@@ -96,7 +96,7 @@ from .weights import (
     RCNP_FEATURE_SET,
 )
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "BLAST_FEATURE_SET",
@@ -138,6 +138,7 @@ __all__ = [
     "SupervisedWEP",
     "SupervisedWNP",
     "TokenBlocking",
+    "WorkerCrashError",
     "evaluate_blocks",
     "evaluate_candidates",
     "evaluate_result",

@@ -390,6 +390,11 @@ def _run_serve(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int
             recover=args.recover,
             tokenize_workers=args.workers,
             announce=True,
+            degraded_reads=(args.degraded_reads == "on"),
+            heartbeat_interval=args.heartbeat_interval,
+            hang_timeout=args.hang_timeout,
+            max_pending_mutations=args.max_pending,
+            max_pending_reads=args.max_pending,
         )
     except (FileNotFoundError, ValueError) as error:
         parser.error(f"cannot start the daemon: {error}")
@@ -404,7 +409,14 @@ def _run_client(args: argparse.Namespace, parser: argparse.ArgumentParser) -> in
     from .serve import ProtocolError, ServeClient, ServeError, render_stats
 
     try:
-        client = ServeClient(args.host, args.port, timeout=args.timeout)
+        client = ServeClient(
+            args.host,
+            args.port,
+            timeout=args.timeout,
+            connect_timeout=args.connect_timeout,
+            retries=args.retries,
+            deadline_ms=args.deadline_ms,
+        )
     except OSError as error:
         parser.error(f"cannot connect to {args.host}:{args.port}: {error}")
     try:
@@ -688,6 +700,29 @@ def build_parser() -> argparse.ArgumentParser:
         "--backend", choices=list(BACKENDS), default="sparse",
         help="feature backend used while training the frozen classifier",
     )
+    serve_parser.add_argument(
+        "--degraded-reads", default="on", choices=("on", "off"),
+        dest="degraded_reads",
+        help="while a shard worker rebuilds: serve reads from the authority "
+        "with degraded:true (on, default) or fail fast with 'unavailable' (off)",
+    )
+    serve_parser.add_argument(
+        "--heartbeat-interval", type=float, default=1.0,
+        dest="heartbeat_interval", metavar="SECONDS",
+        help="supervisor heartbeat period for the shard workers",
+    )
+    serve_parser.add_argument(
+        "--hang-timeout", type=float, default=5.0, dest="hang_timeout",
+        metavar="SECONDS",
+        help="missed-heartbeat / stuck-request window before a worker is "
+        "declared wedged and respawned",
+    )
+    serve_parser.add_argument(
+        "--max-pending", type=int, default=256, dest="max_pending",
+        metavar="N",
+        help="bound on each dispatch queue; excess requests are shed with "
+        "a typed 'overloaded' error",
+    )
 
     client_parser = subparsers.add_parser(
         "client",
@@ -702,7 +737,25 @@ def build_parser() -> argparse.ArgumentParser:
     )
     client_parser.add_argument("--host", default="127.0.0.1")
     client_parser.add_argument("--port", type=int, required=True)
-    client_parser.add_argument("--timeout", type=float, default=60.0)
+    client_parser.add_argument(
+        "--timeout", type=float, default=60.0,
+        help="per-request socket timeout in seconds",
+    )
+    client_parser.add_argument(
+        "--connect-timeout", type=float, default=5.0, dest="connect_timeout",
+        metavar="SECONDS",
+        help="total budget for connecting (retries while the daemon's "
+        "listener is still binding)",
+    )
+    client_parser.add_argument(
+        "--retries", type=int, default=2,
+        help="re-send budget for retryable failures (idempotent ops, "
+        "'overloaded' sheds, unsent requests)",
+    )
+    client_parser.add_argument(
+        "--deadline-ms", type=float, default=None, dest="deadline_ms",
+        metavar="MS", help="server-enforced per-request deadline",
+    )
     client_parser.add_argument("--id", default=None, help="entity id")
     client_parser.add_argument(
         "--text", default=None, help="profile text for 'insert'"

@@ -1153,6 +1153,32 @@ class MutableBlockIndex:
             array.append(0.0)
         return node
 
+    def _register_tombstone(self) -> int:
+        """Burn one node slot as already-removed (empty CSR row, side -1).
+
+        Snapshot adoption uses this to reproduce another index's node space:
+        slots its dead entities occupy must exist here too — with the same
+        ids — so later WAL records referring to still-live nodes resolve
+        identically.  A tombstone never matches any side, owns no blocks,
+        and is skipped by every canonical view, exactly like a slot
+        :meth:`remove_entity` has retired.
+        """
+        node = self.num_slots
+        if node >= MAX_NODE_ID:
+            raise _node_id_overflow(node)
+        self._entity_ids.append("")
+        self._sides.append(-1)
+        for array in (
+            self._blocks_per_entity,
+            self._entity_cardinality,
+            self._entity_inv_cardinality,
+            self._entity_inv_size,
+            self._degrees,
+        ):
+            array.append(0.0)
+        self._indptr.append(len(self._indices))
+        return node
+
     def _register_pairs(self, left: np.ndarray, right: np.ndarray) -> np.ndarray:
         """Append canonical new pairs to the registry; returns their positions."""
         first_position = self.num_registered_pairs

@@ -35,6 +35,7 @@ from .blocking import (
 from .executor import (
     WORKERS_AUTO,
     ParallelExecutor,
+    WorkerCrashError,
     resolve_workers,
     split_ranges,
 )
@@ -54,6 +55,7 @@ __all__ = [
     "SharedArray",
     "SharedArrayHandle",
     "WORKERS_AUTO",
+    "WorkerCrashError",
     "assemble_blocks_sharded",
     "attach_view",
     "extract_candidate_keys_sharded",

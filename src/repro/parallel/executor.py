@@ -89,6 +89,23 @@ def _preferred_start_method() -> str:
     return "fork" if "fork" in methods else "spawn"
 
 
+class WorkerCrashError(RuntimeError):
+    """A pool worker died (killed, OOMed, segfaulted) with tasks in flight.
+
+    ``multiprocessing.Pool`` never completes a task whose worker died —
+    without detection the parent waits forever.  The executor watches the
+    pool's pids while collecting and raises this instead, naming the task
+    indices (the shard numbers, for the sharded pipeline) still
+    outstanding when the crash was detected.
+    """
+
+    def __init__(self, message: str, shards: Sequence[int] = ()) -> None:
+        super().__init__(message)
+        #: task indices that never completed (for the sharded stages these
+        #: are exactly the shard numbers)
+        self.shards = tuple(shards)
+
+
 class ParallelExecutor:
     """A reusable worker pool plus its published shared-memory inputs.
 
@@ -212,6 +229,21 @@ class ParallelExecutor:
             self._pool = context.Pool(processes=self.workers)
         return self._pool
 
+    def _worker_pids(self) -> frozenset:
+        pool = self._pool
+        if pool is None:
+            return frozenset()
+        try:
+            return frozenset(process.pid for process in pool._pool)
+        except (AttributeError, TypeError):  # pragma: no cover - API drift
+            return frozenset()
+
+    #: how long (seconds) after a worker-pid change outstanding tasks get to
+    #: finish before the pool is declared crashed; extended while results
+    #: keep arriving (a pid change with progress is a pool restarting a
+    #: worker, not a wedged pool)
+    _crash_grace = 1.0
+
     def starmap(self, func: Callable, tasks: Sequence[tuple]) -> list:
         """Run ``func(*task)`` for every task, preserving task order.
 
@@ -219,10 +251,54 @@ class ParallelExecutor:
         name — see :mod:`repro.parallel.worker`).  With one worker, or a
         single task, the calls run inline in the parent: same code path,
         no pool, which keeps the ``workers=1`` oracle and tiny inputs cheap.
+
+        Raises
+        ------
+        WorkerCrashError
+            When a pool worker dies with tasks in flight (a plain pool
+            ``starmap`` would wait forever for the dead worker's task).
         """
+        import time
+
         tasks = list(tasks)
         if not tasks:
             return []
         if self.workers == 1 or len(tasks) == 1:
             return [func(*task) for task in tasks]
-        return self._ensure_pool().starmap(func, tasks, chunksize=1)
+        pool = self._ensure_pool()
+        # apply_async per task (chunksize-1 semantics, order preserved by
+        # index) so collection can interleave with pid watching
+        pending = [pool.apply_async(func, task) for task in tasks]
+        results: List = [None] * len(pending)
+        outstanding = set(range(len(pending)))
+        known_pids = self._worker_pids()
+        suspicious = False  # a worker pid changed: some task may be lost
+        crash_deadline = 0.0
+        while outstanding:
+            progressed = False
+            for position in sorted(outstanding):
+                if pending[position].ready():
+                    results[position] = pending[position].get()
+                    outstanding.discard(position)
+                    progressed = True
+            if not outstanding:
+                break
+            if progressed:
+                if suspicious:
+                    # survivors are still delivering; give the remaining
+                    # tasks another grace window before declaring them lost
+                    crash_deadline = time.monotonic() + self._crash_grace
+                continue
+            current_pids = self._worker_pids()
+            if current_pids != known_pids:
+                known_pids = current_pids
+                suspicious = True
+                crash_deadline = time.monotonic() + self._crash_grace
+            if suspicious and time.monotonic() > crash_deadline:
+                raise WorkerCrashError(
+                    "a pool worker died with tasks in flight "
+                    f"(tasks {sorted(outstanding)} never completed)",
+                    shards=sorted(outstanding),
+                )
+            pending[min(outstanding)].wait(0.02)
+        return results

@@ -39,6 +39,8 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Union
 
+from .. import faults
+
 #: first bytes of every log file; a file not starting with it is not a WAL
 LOG_MAGIC = b"RPROWAL1"
 #: first bytes of every snapshot file
@@ -52,6 +54,17 @@ _SNAPSHOT_HEADER = struct.Struct("<QI")
 #: hard cap on one record's payload; a corrupted length field must not make
 #: the scanner attempt a multi-gigabyte read
 MAX_RECORD_BYTES = 1 << 30
+
+
+class WalBrokenError(OSError):
+    """The writer left bad bytes on the log tail and refuses further appends.
+
+    Raised after an append failure that could not be undone in place (or an
+    injected torn/corrupt tail): the file may end in a partial or invalid
+    frame, so appending behind it would bury the damage inside the log.  A
+    broken log is still *readable* — :meth:`WriteAheadLog.scan` drops the
+    bad tail — and recovery reopens it with ``truncate_at`` as usual.
+    """
 
 
 def encode_record(record: Dict[str, Any]) -> bytes:
@@ -114,6 +127,7 @@ class WriteAheadLog:
         self.sync_mode = sync
         self._file = None
         self._offset = self._current_size()
+        self._broken = False
 
     def _current_size(self) -> int:
         try:
@@ -171,25 +185,79 @@ class WriteAheadLog:
         """Whether the directory holds neither records nor snapshots."""
         return self.is_fresh and not self.snapshot_paths()
 
+    @property
+    def broken(self) -> bool:
+        """Whether the writer is failed (see :class:`WalBrokenError`)."""
+        return self._broken
+
     def append_record(self, record: Dict[str, Any]) -> int:
         """Append one logical record; returns the offset just past it.
 
         Under ``sync="always"`` the record is durable when this returns.
+
+        A failed write/flush/fsync truncates the file back to the last
+        committed offset before re-raising, so the append either happened
+        entirely or not at all; when even the truncate fails the log is
+        marked broken and every further append raises
+        :class:`WalBrokenError`.
         """
+        if self._broken:
+            raise WalBrokenError(
+                f"{self.log_path} writer failed mid-append and was not "
+                "repaired; recover the directory to continue"
+            )
         if self._file is None:
             self.open()
         blob = encode_record(record)
-        self._file.write(blob)
-        self._file.flush()
-        if self.sync_mode == "always":
-            os.fsync(self._file.fileno())
+        damage = faults.on_wal_append()
+        if damage is not None:
+            self._inject_tail_damage(blob, damage)
+        try:
+            self._file.write(blob)
+            self._file.flush()
+            if self.sync_mode == "always":
+                faults.on_wal_fsync()
+                os.fsync(self._file.fileno())
+        except OSError:
+            self._undo_partial_append()
+            raise
         self._offset += len(blob)
         return self._offset
+
+    def _inject_tail_damage(self, blob: bytes, damage: str) -> None:
+        """Write an injected torn or bit-flipped tail, mark broken, raise."""
+        if damage == "torn":
+            bad = blob[: max(1, len(blob) // 2)]
+        else:
+            flipped = bytearray(blob)
+            flipped[-1] ^= 0xFF
+            bad = bytes(flipped)
+        self._file.write(bad)
+        self._file.flush()
+        self._broken = True
+        raise faults.InjectedFaultError(f"injected {damage} WAL tail")
+
+    def _undo_partial_append(self) -> None:
+        """Restore the append-or-nothing invariant after a failed append.
+
+        Whatever prefix of the record reached the file is truncated away;
+        the committed offset is untouched, so the writer keeps working.  If
+        the truncate itself fails the tail state is unknown and the log is
+        marked broken.
+        """
+        try:
+            self._file.seek(self._offset)
+            self._file.truncate()
+            self._file.flush()
+            self._file.seek(0, os.SEEK_END)
+        except OSError:
+            self._broken = True
 
     def sync(self) -> None:
         """Flush and fsync pending appends (a no-op when nothing is open)."""
         if self._file is not None:
             self._file.flush()
+            faults.on_wal_fsync()
             os.fsync(self._file.fileno())
 
     def close(self) -> None:
@@ -215,7 +283,11 @@ class WriteAheadLog:
         a missing or empty file scans empty, and only a wrong magic is an
         error.
         """
-        self.sync()
+        try:
+            self.sync()
+        except OSError:
+            # a failed writer must not block reading what did commit
+            pass
         try:
             data = self.log_path.read_bytes()
         except FileNotFoundError:

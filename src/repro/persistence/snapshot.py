@@ -31,6 +31,33 @@ from .log import WriteAheadLog
 STATE_FORMAT = 1
 
 
+def dump_slot_layout(index) -> Optional[Dict[str, Any]]:
+    """The raw node-slot layout of a :class:`MutableBlockIndex`.
+
+    ``sides`` dumps only *live* entities in per-side arrival order; the slot
+    layout records which raw node id each of those entries occupies, plus
+    the total slot count — enough to rebuild an index in the **same node
+    space** as the dumping one (live slots re-inserted at their original
+    ids, dead slots re-registered as tombstones).  That is what lets a
+    shard replica adopt a mid-run checkpoint of a live authority, whose
+    tombstoned slots are never reused, without diverging from the node ids
+    the authority keeps assigning (see ``ShardReplica``).
+
+    Sharded indexes have no single raw node space to dump; they return
+    ``None`` (replicas never adopt from them).
+    """
+    if isinstance(index, ShardedMutableBlockIndex):
+        return None
+    sides = index._sides.view()
+    return {
+        "num_slots": int(sides.size),
+        "nodes": {
+            side: np.flatnonzero(sides == side).tolist()
+            for side in ((0, 1) if index.bilateral else (0,))
+        },
+    }
+
+
 def dump_index_state(index) -> Dict[str, Any]:
     """The logical state of an index: topology plus live entities per side."""
     sharded = isinstance(index, ShardedMutableBlockIndex)
@@ -103,6 +130,7 @@ def write_index_snapshot(index, wal: WriteAheadLog):
             "format": STATE_FORMAT,
             "log_offset": wal.log_offset,
             "index": dump_index_state(index),
+            "slots": dump_slot_layout(index),
             "session": None,
         }
     )
@@ -143,6 +171,7 @@ def session_snapshot_state(session) -> Dict[str, Any]:
         "format": STATE_FORMAT,
         "log_offset": session.wal.log_offset,
         "index": dump_index_state(index),
+        "slots": dump_slot_layout(index),
         "session": {
             "model": session.model,
             "pruning": session.pruning,

@@ -23,12 +23,26 @@ Modules
     :class:`ServeClient` — the blocking stdlib client.
 ``metrics``
     Latency histograms, gauges and the ``stats`` rendering.
+``supervision``
+    :class:`WorkerSupervisor` — heartbeat, hang detection, respawn with
+    checkpoint adoption.
 """
 
 from .client import ServeClient, ServeError
-from .daemon import MatchingDaemon
+from .daemon import (
+    DeadlineExceededError,
+    MatchingDaemon,
+    OverloadedError,
+    UnavailableError,
+    WalFailedError,
+)
 from .metrics import LatencyHistogram, ServerMetrics, render_stats
 from .protocol import (
+    ERROR_DEADLINE,
+    ERROR_OVERLOADED,
+    ERROR_UNAVAILABLE,
+    ERROR_WAL,
+    IDEMPOTENT_OPS,
     OPERATIONS,
     PROTOCOL_VERSION,
     ProtocolError,
@@ -37,6 +51,7 @@ from .protocol import (
     profile_to_wire,
 )
 from .router import ShardRouter, build_pinned_view, match_answer, top_k_answer
+from .supervision import WorkerSupervisor
 from .workers import (
     ShardReplica,
     ShardWorkerHandle,
@@ -46,18 +61,28 @@ from .workers import (
 )
 
 __all__ = [
+    "DeadlineExceededError",
     "MatchingDaemon",
+    "OverloadedError",
     "ServeClient",
     "ServeError",
     "ShardReplica",
     "ShardRouter",
     "ShardWorkerHandle",
+    "UnavailableError",
+    "WalFailedError",
     "WalFollowError",
     "WalRecordFollower",
     "WorkerError",
+    "WorkerSupervisor",
     "LatencyHistogram",
     "ServerMetrics",
     "render_stats",
+    "ERROR_DEADLINE",
+    "ERROR_OVERLOADED",
+    "ERROR_UNAVAILABLE",
+    "ERROR_WAL",
+    "IDEMPOTENT_OPS",
     "OPERATIONS",
     "PROTOCOL_VERSION",
     "ProtocolError",

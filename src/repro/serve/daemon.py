@@ -40,8 +40,13 @@ from typing import Any, Dict, Optional, Tuple
 from .. import __version__
 from ..incremental.index import DuplicateEntityError, UnknownEntityError
 from ..incremental.session import MatchingSession
+from ..persistence.log import WalBrokenError
 from .metrics import ServerMetrics
 from .protocol import (
+    ERROR_DEADLINE,
+    ERROR_OVERLOADED,
+    ERROR_UNAVAILABLE,
+    ERROR_WAL,
     OPERATIONS,
     PROTOCOL_VERSION,
     ProtocolError,
@@ -52,11 +57,29 @@ from .protocol import (
     write_message,
 )
 from .router import ShardRouter, match_answer, top_k_answer
+from .supervision import WorkerSupervisor
+from .workers import WalFollowError, WorkerError
 
 #: operations serialized on the mutation thread
 MUTATION_OPS = frozenset({"insert", "insert_bulk", "remove", "update", "checkpoint"})
 #: operations served from the pinned shard-worker views
 READ_OPS = frozenset({"match", "top_k", "stats"})
+
+
+class OverloadedError(RuntimeError):
+    """The target queue is at capacity; the request was shed unprocessed."""
+
+
+class DeadlineExceededError(RuntimeError):
+    """The request's deadline passed before the operation was applied."""
+
+
+class UnavailableError(RuntimeError):
+    """A shard worker is down/rebuilding and degraded reads are disabled."""
+
+
+class WalFailedError(RuntimeError):
+    """The write-ahead log failed; the mutation was neither logged nor applied."""
 
 
 def _newest_valid_snapshot(wal_path):
@@ -120,15 +143,28 @@ class MatchingDaemon:
         start_method: Optional[str] = None,
         drain_timeout: float = 10.0,
         announce: bool = False,
+        degraded_reads: bool = True,
+        heartbeat_interval: float = 1.0,
+        hang_timeout: float = 5.0,
+        spawn_grace: float = 10.0,
+        max_pending_mutations: int = 256,
+        max_pending_reads: int = 256,
+        adopt_min_gap: Optional[int] = None,
     ) -> None:
-        bootstrap = None
+        from ..persistence.log import WriteAheadLog
+
+        allow_from_zero = True
         if recover:
-            # recovery rebuilds the authority from the newest valid
-            # snapshot, which compacts and renumbers node ids; capture that
-            # snapshot's path *first* so the shard replicas can bootstrap
-            # from the very same file and share the authority's node space
-            bootstrap = _newest_valid_snapshot(wal_path)
             self.session = MatchingSession.recover(wal_path, sync=wal_sync)
+            # recovery rebuilt the authority from a snapshot, compacting and
+            # renumbering node ids — the log's earlier records describe the
+            # *previous* node space and must never be replayed by a replica.
+            # Write a floor checkpoint of the recovered state (slot layout
+            # included): workers adopt it (or anything newer) and replay
+            # only the tail past it, in the authority's node space.
+            floor_path = self.session.checkpoint()
+            adopt_floor = WriteAheadLog._snapshot_sequence(floor_path)
+            allow_from_zero = False
         else:
             if model is None:
                 raise ValueError("a fresh daemon needs a frozen model")
@@ -142,12 +178,22 @@ class MatchingDaemon:
                 snapshot_every=snapshot_every,
                 wal_sync=wal_sync,
             )
+            # a fresh session requires an empty WAL directory and writes
+            # snapshot 1 immediately, so every snapshot is adoptable and a
+            # from-zero replay is equally valid
+            adopt_floor = 1
         self.wal_path = wal_path
         self.host = host
         self.port = port
         self.num_shards = num_shards
         self.drain_timeout = drain_timeout
         self.announce = announce
+        self.degraded_reads = degraded_reads
+        self.heartbeat_interval = heartbeat_interval
+        self.hang_timeout = hang_timeout
+        self.spawn_grace = spawn_grace
+        self.max_pending_mutations = max_pending_mutations
+        self.max_pending_reads = max_pending_reads
         self.metrics = ServerMetrics()
         # entity ids by node come from the authority index's append-only
         # registry: node slots are never reused, so the live resolver is
@@ -157,7 +203,9 @@ class MatchingDaemon:
             num_shards,
             self.session.index.entity_id,
             start_method=start_method,
-            bootstrap=bootstrap,
+            adopt_floor=adopt_floor,
+            allow_from_zero=allow_from_zero,
+            adopt_min_gap=adopt_min_gap,
         )
         from ..parallel import ParallelExecutor, resolve_workers
 
@@ -171,6 +219,11 @@ class MatchingDaemon:
         self._mutator: Optional[ThreadPoolExecutor] = None
         self._reader: Optional[ThreadPoolExecutor] = None
         self._signals_installed = False
+        self._supervisor: Optional[WorkerSupervisor] = None
+        # queue depths live on the asyncio loop thread only — plain ints
+        # are race-free there, and they bound what run_in_executor enqueues
+        self._pending_mutations = 0
+        self._pending_reads = 0
 
     # -- lifecycle ---------------------------------------------------------------
     async def run(self) -> None:
@@ -185,6 +238,13 @@ class MatchingDaemon:
             max_workers=1, thread_name_prefix="repro-serve-read"
         )
         self.router.start()
+        self._supervisor = WorkerSupervisor(
+            self.router,
+            self.metrics,
+            heartbeat_interval=self.heartbeat_interval,
+            hang_timeout=self.hang_timeout,
+            spawn_grace=self.spawn_grace,
+        ).start()
         server = await asyncio.start_server(
             self._handle_connection, self.host, self.port
         )
@@ -214,6 +274,8 @@ class MatchingDaemon:
             await loop.run_in_executor(self._mutator, self._final_checkpoint)
             self._mutator.shutdown(wait=True)
             self._reader.shutdown(wait=True)
+            if self._supervisor is not None:
+                self._supervisor.stop()
             self.router.stop()
             if self._executor is not None:
                 self._executor.close()
@@ -261,11 +323,21 @@ class MatchingDaemon:
             await asyncio.gather(*pending, return_exceptions=True)
 
     def _final_checkpoint(self) -> None:
-        """The shutdown commit: one last snapshot, fsync, close."""
+        """The shutdown commit: one last snapshot, fsync, close.
+
+        A broken WAL (failed mid-append and unrepaired) cannot take the
+        shutdown snapshot; everything acked is already durable in the log,
+        so shutdown proceeds rather than hanging the exit path.
+        """
         try:
             self.session.checkpoint()
+        except OSError:
+            pass
         finally:
-            self.session.close()
+            try:
+                self.session.close()
+            except OSError:
+                pass
 
     # -- connection handling -----------------------------------------------------
     async def _handle_connection(self, reader, writer) -> None:
@@ -320,6 +392,14 @@ class MatchingDaemon:
             return error_response(request_id, "protocol", f"unknown op {op!r}")
         if not isinstance(args, dict):
             return error_response(request_id, "protocol", "'args' must be an object")
+        deadline_ms = message.get("deadline_ms")
+        deadline: Optional[float] = None
+        if deadline_ms is not None:
+            if not isinstance(deadline_ms, (int, float)) or deadline_ms <= 0:
+                return error_response(
+                    request_id, "bad_request", "'deadline_ms' must be a positive number"
+                )
+            deadline = time.monotonic() + float(deadline_ms) / 1e3
         start = time.perf_counter()
         ok = True
         try:
@@ -334,10 +414,27 @@ class MatchingDaemon:
                 self._shutdown.set()
                 result = {"stopping": True}
             elif op in MUTATION_OPS:
-                result = await self._run_mutation(op, args)
+                result = await self._run_mutation(op, args, deadline)
             else:
-                result = await self._run_read(op, args)
+                result = await self._run_read(op, args, deadline)
             return ok_response(request_id, result)
+        except OverloadedError as error:
+            ok = False
+            self.metrics.increment(
+                "shed_mutations" if op in MUTATION_OPS else "shed_reads"
+            )
+            return error_response(request_id, ERROR_OVERLOADED, str(error))
+        except DeadlineExceededError as error:
+            ok = False
+            self.metrics.increment("deadline_exceeded")
+            return error_response(request_id, ERROR_DEADLINE, str(error))
+        except UnavailableError as error:
+            ok = False
+            return error_response(request_id, ERROR_UNAVAILABLE, str(error))
+        except WalFailedError as error:
+            ok = False
+            self.metrics.increment("wal_failures")
+            return error_response(request_id, ERROR_WAL, str(error))
         except UnknownEntityError as error:
             ok = False
             return error_response(request_id, "unknown_entity", str(error))
@@ -358,23 +455,112 @@ class MatchingDaemon:
         finally:
             self.metrics.record(str(op), time.perf_counter() - start, ok)
 
-    async def _run_mutation(self, op: str, args: Dict[str, Any]) -> Any:
+    async def _run_mutation(
+        self, op: str, args: Dict[str, Any], deadline: Optional[float] = None
+    ) -> Any:
+        if self._pending_mutations >= self.max_pending_mutations:
+            raise OverloadedError(
+                f"mutation queue is full ({self.max_pending_mutations} pending); "
+                "retry after backoff"
+            )
+        self._pending_mutations += 1
         self.metrics.adjust_gauge("mutation_queue_depth", 1)
         try:
             return await self._loop.run_in_executor(
-                self._mutator, lambda: self._mutate(op, args)
+                self._mutator, lambda: self._mutate_checked(op, args, deadline)
             )
         finally:
+            self._pending_mutations -= 1
             self.metrics.adjust_gauge("mutation_queue_depth", -1)
 
-    async def _run_read(self, op: str, args: Dict[str, Any]) -> Any:
+    async def _run_read(
+        self, op: str, args: Dict[str, Any], deadline: Optional[float] = None
+    ) -> Any:
+        if self._pending_reads >= self.max_pending_reads:
+            raise OverloadedError(
+                f"read queue is full ({self.max_pending_reads} pending); "
+                "retry after backoff"
+            )
+        self._pending_reads += 1
         self.metrics.adjust_gauge("read_queue_depth", 1)
         try:
             return await self._loop.run_in_executor(
-                self._reader, lambda: self._read(op, args)
+                self._reader, lambda: self._read_checked(op, args, deadline)
             )
         finally:
+            self._pending_reads -= 1
             self.metrics.adjust_gauge("read_queue_depth", -1)
+
+    @staticmethod
+    def _check_deadline(deadline: Optional[float]) -> None:
+        if deadline is not None and time.monotonic() > deadline:
+            raise DeadlineExceededError("deadline exceeded before the operation ran")
+
+    def _mutate_checked(
+        self, op: str, args: Dict[str, Any], deadline: Optional[float]
+    ) -> Any:
+        # the deadline is re-checked HERE, on the mutation thread, before
+        # anything is journaled or applied: a mutation that fails with
+        # `deadline` was unambiguously NOT applied (clients must never
+        # retry a non-idempotent op whose deadline raced the apply)
+        self._check_deadline(deadline)
+        try:
+            return self._mutate(op, args)
+        except WalBrokenError as error:
+            raise WalFailedError(str(error)) from error
+        except OSError as error:
+            raise WalFailedError(
+                f"write-ahead log failure; the operation was not applied: {error}"
+            ) from error
+
+    def _read_checked(
+        self, op: str, args: Dict[str, Any], deadline: Optional[float]
+    ) -> Any:
+        self._check_deadline(deadline)
+        try:
+            return self._read(op, args)
+        except (WorkerError, WalFollowError) as error:
+            if self._supervisor is not None:
+                self._supervisor.kick()
+            if self.degraded_reads and op in ("match", "top_k"):
+                self.metrics.increment("degraded_reads")
+                return self._mutator.submit(
+                    self._degraded_read, op, args, deadline
+                ).result()
+            raise UnavailableError(
+                f"shard workers unavailable ({error}); degraded reads are off"
+            ) from None
+
+    def _degraded_read(
+        self, op: str, args: Dict[str, Any], deadline: Optional[float]
+    ) -> Any:
+        """Serve a read directly from the authority index.
+
+        Runs on the mutation thread — the authority index is not
+        thread-safe, so a degraded read serializes with writes; the answer
+        reflects the current offset (fresh, not the originally pinned one)
+        and carries ``degraded: true``.  This is the availability escape
+        hatch while a shard worker is being respawned and re-bootstrapped.
+        """
+        self._check_deadline(deadline)
+        index = self.session.index
+        offset = self._offset()
+        if op == "match":
+            answer = match_answer(index, self.session.model, self.session.pruning)
+            answer["offset"] = offset
+            answer["degraded"] = True
+            return answer
+        entity_id = str(args["entity_id"])
+        side = int(args.get("side", 0))
+        node = index.node_of(entity_id, side=side)
+        return {
+            "offset": offset,
+            "entity_id": entity_id,
+            "degraded": True,
+            "matches": top_k_answer(
+                index, self.session.model, node, int(args.get("k", 10))
+            ),
+        }
 
     # -- mutation thread ---------------------------------------------------------
     def _offset(self) -> int:
@@ -495,6 +681,15 @@ class MatchingDaemon:
                         "name": self.session.online.name,
                         "threshold": float(self.session.online.threshold),
                     },
+                    "supervision": {
+                        "worker_restarts": (
+                            self._supervisor.restarts if self._supervisor else 0
+                        ),
+                        "degraded_reads": "on" if self.degraded_reads else "off",
+                        "heartbeat_interval": self.heartbeat_interval,
+                        "hang_timeout": self.hang_timeout,
+                    },
+                    "wal_broken": bool(self.session.wal.broken),
                 },
                 "shards": self.router.shard_stats(offset),
                 "metrics": self.metrics.snapshot(),

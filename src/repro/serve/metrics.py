@@ -89,8 +89,16 @@ class ServerMetrics:
             "mutation_queue_depth": 0,
             "read_queue_depth": 0,
         }
+        #: fault-tolerance event counters (worker_restarts, degraded_reads,
+        #: shed_mutations, shed_reads, deadline_exceeded, wal_failures, ...)
+        self._counters: Dict[str, int] = {}
         self.connections_total = 0
         self.connections_open = 0
+
+    def increment(self, name: str, delta: int = 1) -> None:
+        """Bump a named event counter."""
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + delta
 
     def record(self, op: str, seconds: float, ok: bool) -> None:
         """Record one served request."""
@@ -127,6 +135,7 @@ class ServerMetrics:
                     for op, histogram in sorted(self._histograms.items())
                 },
                 "queues": dict(self._gauges),
+                "counters": dict(sorted(self._counters.items())),
                 "connections": {
                     "total": self.connections_total,
                     "open": self.connections_open,
@@ -164,6 +173,12 @@ def render_stats(stats: Dict[str, Any]) -> str:
         lines.append(
             "queues: "
             + ", ".join(f"{name}={depth}" for name, depth in sorted(queues.items()))
+        )
+    counters = metrics.get("counters", {})
+    if counters:
+        lines.append(
+            "events: "
+            + ", ".join(f"{name}={count}" for name, count in sorted(counters.items()))
         )
     connections = metrics.get("connections")
     if connections:

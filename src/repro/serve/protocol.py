@@ -50,6 +50,23 @@ OPERATIONS = (
     "shutdown",
 )
 
+#: operations a client may safely re-send after an ambiguous failure (a
+#: send that may or may not have been processed) — reads plus checkpoint,
+#: which is idempotent by construction (re-checkpointing the same state
+#: just writes another equivalent snapshot)
+IDEMPOTENT_OPS = frozenset({"ping", "stats", "match", "top_k", "checkpoint"})
+
+#: typed error envelopes of the fault-tolerance layer
+#: — the request queue is full; retry after backoff
+ERROR_OVERLOADED = "overloaded"
+#: — the request's deadline passed before (for mutations: strictly before)
+#:   the operation was applied
+ERROR_DEADLINE = "deadline"
+#: — a shard worker is rebuilding and degraded reads are disabled
+ERROR_UNAVAILABLE = "unavailable"
+#: — the write-ahead log failed; the daemon refuses further mutations
+ERROR_WAL = "wal_failed"
+
 
 class ProtocolError(RuntimeError):
     """The byte stream does not frame a valid message."""

@@ -31,7 +31,7 @@ from ..incremental.delta import DeltaFeatureGenerator
 from ..incremental.index import pack_pair_keys
 from ..incremental.sharded import ShardedMutableBlockIndex
 from ..weights.sparse import EntityBlockCSR
-from .workers import ShardWorkerHandle
+from .workers import ShardWorkerHandle, WorkerError
 
 
 class _ArrayCell:
@@ -293,7 +293,14 @@ def top_k_answer(
 
 
 class ShardRouter:
-    """The daemon's fleet of shard workers plus the pinned-view assembly."""
+    """The daemon's fleet of shard workers plus the pinned-view assembly.
+
+    The fleet is mutable: :meth:`respawn` replaces one shard's worker with
+    a freshly spawned one (checkpoint adoption makes the replacement cheap)
+    while reads keep flowing through the others.  Handle swaps happen under
+    the router lock; request traffic holds each handle's own lock, so a
+    swapped-out worker is never written to mid-request.
+    """
 
     def __init__(
         self,
@@ -302,7 +309,12 @@ class ShardRouter:
         resolve_entity_id: Callable[[int], str],
         start_method: Optional[str] = None,
         bootstrap=None,
+        adopt_floor: Optional[int] = None,
+        allow_from_zero: bool = True,
+        adopt_min_gap: Optional[int] = None,
     ) -> None:
+        import threading
+
         if num_shards < 1:
             raise ValueError("num_shards must be at least 1")
         self.wal_dir = wal_dir
@@ -312,22 +324,71 @@ class ShardRouter:
         #: the snapshot the authority was rebuilt from, if it recovered —
         #: replicas bootstrap from the same file to share its node space
         self._bootstrap = bootstrap
+        self._adopt_floor = adopt_floor
+        self._allow_from_zero = allow_from_zero
+        self._adopt_min_gap = adopt_min_gap
+        self._lock = threading.Lock()
         self._handles: List[ShardWorkerHandle] = []
+
+    def _spawn(self, shard: int) -> ShardWorkerHandle:
+        return ShardWorkerHandle(
+            self.wal_dir,
+            shard,
+            self.num_shards,
+            self._start_method,
+            bootstrap=self._bootstrap,
+            adopt_floor=self._adopt_floor,
+            allow_from_zero=self._allow_from_zero,
+            adopt_min_gap=self._adopt_min_gap,
+        )
 
     def start(self) -> "ShardRouter":
         """Spawn one worker per shard (idempotent)."""
-        if not self._handles:
-            self._handles = [
-                ShardWorkerHandle(
-                    self.wal_dir,
-                    shard,
-                    self.num_shards,
-                    self._start_method,
-                    bootstrap=self._bootstrap,
-                )
-                for shard in range(self.num_shards)
-            ]
+        with self._lock:
+            if not self._handles:
+                self._handles = [
+                    self._spawn(shard) for shard in range(self.num_shards)
+                ]
         return self
+
+    def handles(self) -> List[ShardWorkerHandle]:
+        """A stable copy of the current fleet (handles may be swapped out
+        concurrently — holders must tolerate a dead handle)."""
+        with self._lock:
+            return list(self._handles)
+
+    def handle(self, shard: int) -> ShardWorkerHandle:
+        with self._lock:
+            if not self._handles:
+                raise WorkerError("the shard router is not running")
+            return self._handles[shard]
+
+    def respawn(
+        self, shard: int, expected: Optional[ShardWorkerHandle] = None
+    ) -> Optional[ShardWorkerHandle]:
+        """Replace ``shard``'s worker with a freshly spawned one.
+
+        Spawns the replacement *first*, swaps it in under the router lock
+        (guarded by ``expected`` identity so two detectors of the same
+        failure produce one respawn), then SIGKILLs the old process — the
+        kill also unblocks anyone waiting on the old pipe with a
+        :class:`WorkerError`.  Returns the replacement, or ``None`` when
+        the swap did not happen (router stopped, or ``expected`` was
+        already replaced by someone else).
+        """
+        fresh = self._spawn(shard)
+        with self._lock:
+            swapped = bool(self._handles) and (
+                expected is None or self._handles[shard] is expected
+            )
+            if swapped:
+                current = self._handles[shard]
+                self._handles[shard] = fresh
+        if not swapped:
+            fresh.kill()
+            return None
+        current.kill()
+        return fresh
 
     def __enter__(self) -> "ShardRouter":
         return self.start()
@@ -337,10 +398,44 @@ class ShardRouter:
 
     def _fan_out(self, command) -> List[Any]:
         """Send a command to every worker first, then collect — workers
-        compute concurrently."""
-        for handle in self._handles:
-            handle.send(command)
-        return [handle.collect() for handle in self._handles]
+        compute concurrently.
+
+        Every handle's lock is held for the duration (``busy_since`` set for
+        the supervisor's hang detection).  On a partial failure the workers
+        already sent to still owe replies; they are drained so their pipes
+        stay in sync — a drain blocked on a wedged worker resolves when the
+        supervisor kills it (EOF → :class:`WorkerError`).
+        """
+        import time
+
+        with self._lock:
+            handles = list(self._handles)
+        for handle in handles:
+            handle.lock.acquire()
+        now = time.monotonic()
+        for handle in handles:
+            handle.busy_since = now
+        owed: List[ShardWorkerHandle] = []
+        try:
+            for handle in handles:
+                handle.send(command)
+                owed.append(handle)
+            results = []
+            while owed:
+                handle = owed.pop(0)
+                results.append(handle.collect())
+            return results
+        except Exception:
+            for handle in owed:
+                try:
+                    handle.collect()
+                except Exception:  # noqa: BLE001 - resync is best-effort
+                    pass
+            raise
+        finally:
+            for handle in handles:
+                handle.busy_since = None
+                handle.lock.release()
 
     def pinned_view(
         self, offset: int, lookup: Optional[Tuple[int, str]] = None
@@ -352,14 +447,22 @@ class ShardRouter:
         return view, int(states[0]["meta"]["lookup_node"])
 
     def shard_stats(self, offset: int) -> List[Dict[str, Any]]:
-        """Per-shard counters at ``offset``."""
-        return self._fan_out(("stats", int(offset)))
+        """Per-shard counters at ``offset`` (tolerant: a dead or rebuilding
+        worker reports an ``error`` entry instead of failing the call)."""
+        stats: List[Dict[str, Any]] = []
+        for shard in range(self.num_shards):
+            try:
+                stats.append(self.handle(shard).request(("stats", int(offset))))
+            except Exception as error:  # noqa: BLE001 - per-shard tolerance
+                stats.append({"shard": shard, "error": str(error)})
+        return stats
 
     def ping(self) -> List[Dict[str, Any]]:
         return self._fan_out(("ping",))
 
     def stop(self) -> None:
         """Stop every worker (idempotent)."""
-        handles, self._handles = self._handles, []
+        with self._lock:
+            handles, self._handles = self._handles, []
         for handle in handles:
             handle.stop()

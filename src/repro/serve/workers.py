@@ -29,6 +29,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from .. import faults
 from ..incremental.index import MutableBlockIndex, UnknownEntityError
 from ..parallel.planner import shard_of_signature
 from ..parallel.shm import SharedArray, SharedArrayHandle, attach_view
@@ -58,6 +59,11 @@ class WalRecordFollower:
         self._file = None
         #: byte position just past the last record handed out
         self.position = 0
+        #: records parsed and handed out (replayed through the replica)
+        self.records_delivered = 0
+        #: bytes vouched for by snapshots and never parsed (checkpoint
+        #: adoption's accounting: skipped + parsed == position - magic)
+        self.bytes_skipped = 0
 
     def _ensure_open(self) -> None:
         if self._file is not None:
@@ -82,6 +88,7 @@ class WalRecordFollower:
                 f"cannot seek back to {offset} from {self.position}; "
                 "replicas never rewind"
             )
+        self.bytes_skipped += offset - self.position
         self.position = offset
 
     def advance_to(self, target: int) -> List[Dict[str, Any]]:
@@ -96,6 +103,7 @@ class WalRecordFollower:
             )
         if target == self.position:
             return []
+        faults.on_follower_read()
         self._file.seek(self.position)
         data = self._file.read(target - self.position)
         if len(data) != target - self.position:
@@ -122,6 +130,7 @@ class WalRecordFollower:
             records.append(json.loads(payload.decode("utf-8")))
             cursor = end
         self.position = target
+        self.records_delivered += len(records)
         return records
 
     def close(self) -> None:
@@ -140,7 +149,14 @@ class ShardReplica:
     """
 
     def __init__(
-        self, wal_dir, shard: int, num_shards: int, bootstrap=None
+        self,
+        wal_dir,
+        shard: int,
+        num_shards: int,
+        bootstrap=None,
+        adopt_floor: Optional[int] = None,
+        allow_from_zero: bool = True,
+        adopt_min_gap: Optional[int] = None,
     ) -> None:
         self.wal_dir = Path(wal_dir)
         self.shard = shard
@@ -153,6 +169,20 @@ class ShardReplica:
         #: snapshot (compacted, renumbered node ids), so a replica must
         #: start from the *same* snapshot to live in the same node space
         self.bootstrap = Path(bootstrap) if bootstrap is not None else None
+        #: oldest snapshot sequence whose node space matches the live
+        #: authority's — snapshots written by *earlier* daemon incarnations
+        #: (pre-compaction node spaces) must never be adopted
+        self.adopt_floor = adopt_floor
+        #: whether a from-byte-zero replay is valid when no snapshot is
+        #: adoptable (False for recovered daemons: the log's early records
+        #: predate the compaction the authority was rebuilt from)
+        self.allow_from_zero = allow_from_zero
+        #: re-adopt mid-run when a catch-up would replay more than this many
+        #: bytes (``None`` disables; respawned workers rely on the initial
+        #: adoption in :meth:`catch_up` instead)
+        self.adopt_min_gap = adopt_min_gap
+        #: sequence number of the snapshot this replica adopted, if any
+        self.adopted_sequence: Optional[int] = None
 
     @property
     def offset(self) -> int:
@@ -167,11 +197,111 @@ class ShardReplica:
         ]
 
     def catch_up(self, offset: int) -> None:
-        """Replay the log through this shard up to exactly ``offset``."""
-        if self.index is None and self.bootstrap is not None:
-            self._load_bootstrap()
+        """Replay the log through this shard up to exactly ``offset``.
+
+        A cold replica first bootstraps: from its pinned ``bootstrap``
+        snapshot when the daemon recovered, else by *adopting* the newest
+        eligible checkpoint at or behind ``offset`` and replaying only the
+        tail — the O(tail) bootstrap.  A warm replica re-adopts when the
+        gap to ``offset`` exceeds ``adopt_min_gap`` (a worker that fell far
+        behind jumps forward instead of replaying history).
+        """
+        if self.index is None:
+            if self.bootstrap is not None:
+                self._load_bootstrap()
+            else:
+                self._adopt(target=offset, require=not self.allow_from_zero)
+        elif (
+            self.adopt_min_gap is not None
+            and offset - self.follower.position > self.adopt_min_gap
+        ):
+            self._adopt(target=offset)
         for record in self.follower.advance_to(offset):
             self.apply(record)
+
+    def prime(self) -> None:
+        """Best-effort warm start: adopt the newest eligible checkpoint.
+
+        Called once at worker spawn, before any pinned offset arrives, so
+        the first read request only replays the tail past the snapshot.
+        Reads pinned *before* this worker was spawned never reach it (the
+        router swaps workers in only after spawn), so any snapshot existing
+        now is at or behind every offset this worker will be asked for.
+        """
+        if self.index is None and self.bootstrap is None:
+            self._adopt(target=None)
+
+    def _adopt(self, target: Optional[int], require: bool = False) -> bool:
+        """Jump to the newest eligible checkpoint at or behind ``target``.
+
+        Eligible means: sequence at or past ``adopt_floor`` (same node
+        space as the live authority), carries a slot layout, decodes and
+        CRC-validates, offset within ``target`` (when given) and not behind
+        the replica (replicas never rewind).  Returns whether a snapshot
+        was adopted; with ``require`` an empty result is an error rather
+        than an implicit from-zero replay.
+        """
+        from ..persistence.log import WriteAheadLog
+
+        wal = WriteAheadLog(self.wal_dir)
+        for path in reversed(wal.snapshot_paths()):
+            sequence = wal._snapshot_sequence(path)
+            if self.adopt_floor is not None and sequence < self.adopt_floor:
+                break
+            state = wal.load_snapshot(path)
+            if state is None or state.get("slots") is None:
+                continue
+            offset = int(state["log_offset"])
+            if target is not None and offset > target:
+                continue
+            if offset < self.follower.position or (
+                self.index is not None and offset <= self.follower.position
+            ):
+                break
+            self._adopt_state(state)
+            self.adopted_sequence = sequence
+            return True
+        if require:
+            raise WalFollowError(
+                f"shard {self.shard} has no adoptable snapshot "
+                f"(floor {self.adopt_floor}) and from-zero replay is disabled"
+            )
+        return False
+
+    def _adopt_state(self, state: Dict[str, Any]) -> None:
+        """Rebuild the shard from a checkpoint of the *live* authority.
+
+        Unlike :meth:`_load_bootstrap` (whose snapshot the authority was
+        itself rebuilt from, putting both in canonical node order), an
+        adopted checkpoint describes an authority that kept its original
+        node space — tombstoned slots included.  The embedded slot layout
+        says which raw node id each live entity occupies; replaying slots
+        in id order through ``_apply_insert`` / ``_register_tombstone``
+        reproduces that node space exactly, so every later WAL record
+        resolves to the same node here as on the authority.
+        """
+        index_state = state["index"]
+        slots = state["slots"]
+        self.bilateral = bool(index_state["bilateral"])
+        index = MutableBlockIndex(
+            bilateral=self.bilateral,
+            name=f"{index_state.get('name') or 'serve'}#shard{self.shard}",
+        )
+        entry_of_node: Dict[int, Tuple[str, int, Sequence[str]]] = {}
+        for side in sorted(index_state["sides"]):
+            nodes = slots["nodes"][side]
+            entries = index_state["sides"][side]
+            for node, (entity_id, signatures) in zip(nodes, entries):
+                entry_of_node[int(node)] = (entity_id, int(side), signatures)
+        for node in range(int(slots["num_slots"])):
+            entry = entry_of_node.get(node)
+            if entry is None:
+                index._register_tombstone()
+            else:
+                entity_id, side, signatures = entry
+                index._apply_insert(entity_id, side, self._filter(signatures))
+        self.index = index
+        self.follower.seek_to(int(state["log_offset"]))
 
     def _load_bootstrap(self) -> None:
         """Rebuild the shard from a snapshot, exactly as recovery rebuilds
@@ -238,6 +368,7 @@ class ShardReplica:
             )
         else:
             raise WalFollowError(f"unknown WAL record op {op!r}")
+        faults.on_record_applied()
 
     # -- read-state extraction ---------------------------------------------------
     def read_state(self, lookup: Optional[Tuple[int, str]] = None) -> Dict[str, Any]:
@@ -311,15 +442,24 @@ class ShardReplica:
             "side_counts": tuple(index._side_counts),
             "block_keys": [index._block_keys[b] for b in spawn_list],
             "lookup_node": int(lookup_node),
+            "records_replayed": self.follower.records_delivered,
+            "bytes_skipped": self.follower.bytes_skipped,
+            "adopted_snapshot": self.adopted_sequence,
         }
         return {"arrays": arrays, "meta": meta}
 
     def shard_stats(self) -> Dict[str, Any]:
         """Small per-shard counters for the ``stats`` endpoint."""
         index = self.index
+        accounting = {
+            "records_replayed": self.follower.records_delivered,
+            "bytes_skipped": self.follower.bytes_skipped,
+            "adopted_snapshot": self.adopted_sequence,
+        }
         if index is None:
             return {"shard": self.shard, "offset": self.offset, "blocks": 0,
-                    "spawning_blocks": 0, "pairs": 0, "entities": 0, "slots": 0}
+                    "spawning_blocks": 0, "pairs": 0, "entities": 0,
+                    "slots": 0, **accounting}
         return {
             "shard": self.shard,
             "offset": self.offset,
@@ -328,6 +468,7 @@ class ShardReplica:
             "pairs": index.num_pairs,
             "entities": index.num_entities,
             "slots": index.num_slots,
+            **accounting,
         }
 
     def close(self) -> None:
@@ -371,7 +512,14 @@ class ExportSlots:
 
 
 def shard_worker_main(
-    connection, wal_dir: str, shard: int, num_shards: int, bootstrap=None
+    connection,
+    wal_dir: str,
+    shard: int,
+    num_shards: int,
+    bootstrap=None,
+    adopt_floor: Optional[int] = None,
+    allow_from_zero: bool = True,
+    adopt_min_gap: Optional[int] = None,
 ) -> None:
     """A shard worker's process body: serve commands until told to stop.
 
@@ -386,7 +534,22 @@ def shard_worker_main(
     Every reply is ``("ok", payload)`` or ``("error", type, message, trace)``;
     a failed command never kills the worker loop.
     """
-    replica = ShardReplica(wal_dir, shard, num_shards, bootstrap=bootstrap)
+    faults.set_scope(shard)
+    replica = ShardReplica(
+        wal_dir,
+        shard,
+        num_shards,
+        bootstrap=bootstrap,
+        adopt_floor=adopt_floor,
+        allow_from_zero=allow_from_zero,
+        adopt_min_gap=adopt_min_gap,
+    )
+    try:
+        # warm start is best-effort: a failed adoption is retried (or
+        # surfaced) on the first real catch_up, never fatal at spawn
+        replica.prime()
+    except Exception:  # noqa: BLE001 - see above
+        pass
     exports = ExportSlots()
     try:
         while True:
@@ -397,6 +560,8 @@ def shard_worker_main(
             name = command[0]
             try:
                 if name == "ping":
+                    if faults.on_heartbeat():
+                        continue  # injected wedge: swallow the ping
                     connection.send(("ok", {"shard": shard, "offset": replica.offset}))
                 elif name == "read":
                     _, offset, lookup = command
@@ -437,7 +602,16 @@ def shard_worker_main(
 
 
 class ShardWorkerHandle:
-    """Parent-side handle on one long-lived shard worker process."""
+    """Parent-side handle on one long-lived shard worker process.
+
+    The handle carries the supervision surface: a per-handle lock (held
+    around every request, try-acquired by the supervisor to probe idle
+    workers), ``busy_since`` (when the current request started, for hang
+    detection on busy workers), ``spawned_at`` (so freshly spawned workers
+    get a bootstrap grace period), :meth:`ping_within` and :meth:`kill`.
+    A handle whose heartbeat times out must be killed, never reused — its
+    eventual late reply would desynchronize the pipe.
+    """
 
     def __init__(
         self,
@@ -446,12 +620,21 @@ class ShardWorkerHandle:
         num_shards: int,
         start_method: Optional[str] = None,
         bootstrap=None,
+        adopt_floor: Optional[int] = None,
+        allow_from_zero: bool = True,
+        adopt_min_gap: Optional[int] = None,
     ) -> None:
         import multiprocessing
+        import threading
+        import time
 
         from ..parallel.executor import _preferred_start_method
 
         self.shard = shard
+        self.lock = threading.Lock()
+        #: monotonic time the in-flight request started, ``None`` when idle
+        self.busy_since: Optional[float] = None
+        self.spawned_at = time.monotonic()
         context = multiprocessing.get_context(
             start_method or _preferred_start_method()
         )
@@ -464,6 +647,9 @@ class ShardWorkerHandle:
                 shard,
                 num_shards,
                 str(bootstrap) if bootstrap is not None else None,
+                adopt_floor,
+                allow_from_zero,
+                adopt_min_gap,
             ),
             name=f"repro-serve-shard-{shard}",
             daemon=True,
@@ -473,7 +659,12 @@ class ShardWorkerHandle:
 
     # -- dispatch (send and collect split so the router can fan out) -------------
     def send(self, command: Tuple) -> None:
-        self._connection.send(command)
+        try:
+            self._connection.send(command)
+        except (OSError, BrokenPipeError, ValueError) as error:
+            raise WorkerError(
+                f"shard worker {self.shard} is unreachable: {error}"
+            ) from None
 
     def collect(self) -> Any:
         try:
@@ -490,8 +681,47 @@ class ShardWorkerHandle:
         )
 
     def request(self, command: Tuple) -> Any:
-        self.send(command)
-        return self.collect()
+        import time
+
+        with self.lock:
+            self.busy_since = time.monotonic()
+            try:
+                self.send(command)
+                return self.collect()
+            finally:
+                self.busy_since = None
+
+    def ping_within(self, timeout: float) -> bool:
+        """Heartbeat: send a ping and wait up to ``timeout`` for the reply.
+
+        Caller must hold :attr:`lock`.  A ``False`` return means the worker
+        is dead or wedged — and the pipe may now hold a late reply, so the
+        worker MUST be killed and replaced, never pinged again.
+        """
+        try:
+            self._connection.send(("ping",))
+            if not self._connection.poll(timeout):
+                return False
+            reply = self._connection.recv()
+        except (EOFError, OSError, BrokenPipeError, ValueError):
+            return False
+        return bool(reply) and reply[0] == "ok"
+
+    def kill(self, timeout: float = 5.0) -> None:
+        """SIGKILL the worker and reap it; safe on an already-dead process."""
+        try:
+            self._process.kill()
+        except (OSError, ValueError):
+            pass
+        self._process.join(timeout)
+        try:
+            self._connection.close()
+        except OSError:
+            pass
+
+    @property
+    def pid(self) -> Optional[int]:
+        return self._process.pid
 
     @staticmethod
     def materialize(payload: Dict[str, Any]) -> Dict[str, Any]:

@@ -32,6 +32,11 @@ def pytest_configure(config):
     config.addinivalue_line(
         "markers", "slow: slower integration test (spawns daemon subprocesses)"
     )
+    config.addinivalue_line(
+        "markers",
+        "chaos: seeded fault-injection test (kill-loops, torn WAL tails); "
+        "seed overridable via REPRO_CHAOS_SEED",
+    )
 
 
 # -- tiny hand-built fixture (the paper's running example, Figure 1) -----------------

@@ -1,0 +1,103 @@
+"""Unit tests for :mod:`repro.faults`: plan codec, determinism, hooks."""
+
+import pytest
+
+from repro import faults
+from repro.faults import FAULTS_ENV, FaultPlan, InjectedFaultError, plan_from_env
+
+
+class TestPlanCodec:
+    def test_json_round_trip(self):
+        plan = FaultPlan(
+            seed=7,
+            kill_worker={0: 3, 2: 5},
+            drop_heartbeats={1: 4},
+            torn_append=(2,),
+            corrupt_append=(5, 9),
+            fsync_error=(1,),
+            slow_io_ms=2.5,
+            slow_io_every=3,
+        )
+        assert FaultPlan.from_json(plan.to_json()) == plan
+
+    def test_to_json_is_canonical(self):
+        left = FaultPlan(seed=1, kill_worker={1: 2, 0: 4}, torn_append=(3, 1))
+        right = FaultPlan(seed=1, kill_worker={0: 4, 1: 2}, torn_append=(1, 3))
+        assert left.to_json() == right.to_json()
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault plan keys"):
+            FaultPlan.from_json('{"seed": 1, "explode": true}')
+
+    def test_non_object_rejected(self):
+        with pytest.raises(ValueError, match="JSON object"):
+            FaultPlan.from_json("[1, 2]")
+
+    def test_plan_from_env(self):
+        plan = FaultPlan(seed=3, fsync_error=(2,))
+        assert plan_from_env({FAULTS_ENV: plan.to_json()}) == plan
+        assert plan_from_env({}) is None
+        assert plan_from_env({FAULTS_ENV: ""}) is None
+
+    def test_kill_loop_is_seed_deterministic(self):
+        first = FaultPlan.kill_loop(42, num_shards=4)
+        second = FaultPlan.kill_loop(42, num_shards=4)
+        other = FaultPlan.kill_loop(43, num_shards=4)
+        assert first == second
+        assert first.seed == 42
+        assert set(first.kill_worker) == {0, 1, 2, 3}
+        assert all(2 <= nth <= 8 for nth in first.kill_worker.values())
+        assert other.kill_worker != first.kill_worker
+
+    def test_describe_names_every_armed_fault(self):
+        plan = FaultPlan(
+            seed=9, kill_worker={1: 3}, torn_append=(2,), slow_io_ms=1.0,
+            slow_io_every=2,
+        )
+        text = plan.describe()
+        assert "seed=9" in text
+        assert "kill_worker" in text
+        assert "torn_append" in text
+        assert "slow_io" in text
+
+
+class TestHooks:
+    def test_append_hook_fires_at_exact_ordinals(self):
+        faults.install(FaultPlan(torn_append=(2,), corrupt_append=(3,)))
+        assert faults.on_wal_append() is None
+        assert faults.on_wal_append() == "torn"
+        assert faults.on_wal_append() == "corrupt"
+        assert faults.on_wal_append() is None
+
+    def test_fsync_hook_raises_at_ordinal(self):
+        faults.install(FaultPlan(fsync_error=(2,)))
+        faults.on_wal_fsync()
+        with pytest.raises(InjectedFaultError):
+            faults.on_wal_fsync()
+        faults.on_wal_fsync()
+
+    def test_install_resets_counters(self):
+        faults.install(FaultPlan(torn_append=(1,)))
+        assert faults.on_wal_append() == "torn"
+        faults.install(FaultPlan(torn_append=(1,)))
+        assert faults.on_wal_append() == "torn"
+
+    def test_shard_scoped_heartbeat_drop(self):
+        faults.install(FaultPlan(drop_heartbeats={1: 2}))
+        # unscoped process (the daemon itself): never drops
+        assert not faults.on_heartbeat()
+        faults.set_scope(0)  # a different shard's worker
+        assert not faults.on_heartbeat()
+        faults.set_scope(1)
+        assert faults.on_heartbeat()
+        assert faults.on_heartbeat()
+        assert not faults.on_heartbeat()  # budget exhausted
+
+    def test_env_plan_resolved_once_and_rearmed_by_clear(self, monkeypatch):
+        plan = FaultPlan(seed=5, fsync_error=(1,))
+        monkeypatch.setenv(FAULTS_ENV, plan.to_json())
+        assert faults.active_plan() == plan
+        monkeypatch.setenv(FAULTS_ENV, FaultPlan(seed=6).to_json())
+        assert faults.active_plan() == plan  # cached until cleared
+        faults.clear()
+        assert faults.active_plan() == FaultPlan(seed=6)

@@ -1,0 +1,53 @@
+"""Regression: a SIGKILLed pool worker raises a named error, never hangs.
+
+``multiprocessing.Pool`` silently never completes a task whose worker died
+— before crash detection, :meth:`ParallelExecutor.starmap` would wait
+forever.  The executor now watches the pool's pids while collecting and
+raises :class:`WorkerCrashError` naming the still-outstanding task indices
+(the shard numbers, for the sharded stages).
+"""
+
+import os
+import signal
+
+import pytest
+
+from repro.parallel import ParallelExecutor, WorkerCrashError
+
+
+def _maybe_die(index, victim):
+    if index == victim:
+        os.kill(os.getpid(), signal.SIGKILL)
+    return index
+
+
+def _echo(index):
+    return index
+
+
+class TestWorkerCrashDetection:
+    def test_sigkilled_worker_raises_named_error(self):
+        executor = ParallelExecutor(2)
+        try:
+            with pytest.raises(WorkerCrashError) as excinfo:
+                executor.starmap(_maybe_die, [(i, 1) for i in range(4)])
+        finally:
+            executor.close()
+        assert 1 in excinfo.value.shards, (
+            "the error must name the crashed task's shard"
+        )
+        assert "never completed" in str(excinfo.value)
+
+    def test_crash_error_is_importable_from_repro(self):
+        from repro import WorkerCrashError as top_level
+
+        assert top_level is WorkerCrashError
+
+    def test_clean_tasks_still_complete(self):
+        executor = ParallelExecutor(2)
+        try:
+            assert executor.starmap(_echo, [(i,) for i in range(6)]) == list(
+                range(6)
+            )
+        finally:
+            executor.close()

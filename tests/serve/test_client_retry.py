@@ -1,0 +1,177 @@
+"""Client retry semantics against a scripted server.
+
+A tiny in-process socket server plays back a per-request script
+(``ok`` / ``overloaded`` / ``drop``-the-connection), recording every
+request it reads — so each retry rule is asserted by *counting what the
+server actually saw*:
+
+* connect retry: a client constructed before the listener binds keeps
+  retrying within ``connect_timeout`` instead of failing on the first
+  refusal;
+* an ``overloaded`` rejection is retried for any op (shed means not
+  applied);
+* a connection dropped after a non-idempotent write was sent is NEVER
+  retried — the server must see exactly one request;
+* a dropped idempotent read reconnects and retries.
+"""
+
+import socket
+import threading
+
+import pytest
+
+from repro.datamodel import make_profile
+from repro.serve import ProtocolError, ServeClient, ServeError
+from repro.serve.protocol import (
+    error_response,
+    ok_response,
+    read_message_from,
+    write_message_to,
+)
+
+_OK_RESULT = {"entity_id": "x", "offset": 1}
+
+
+class _ScriptedServer:
+    """One-connection-at-a-time server that answers per a fixed script."""
+
+    def __init__(self, script):
+        self.script = list(script)
+        self.requests = []
+        self.connections = 0
+        self.ready = threading.Event()
+        self._stopping = False
+        self._sock = socket.socket()
+        self._sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._sock.bind(("127.0.0.1", 0))
+        self.port = self._sock.getsockname()[1]
+        self._thread = threading.Thread(target=self._serve, daemon=True)
+
+    def start(self, bind_delay=0.0):
+        self._bind_delay = bind_delay
+        self._thread.start()
+        return self
+
+    def stop(self):
+        self._stopping = True
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+        self._thread.join(10)
+
+    def _serve(self):
+        import time
+
+        if self._bind_delay:
+            time.sleep(self._bind_delay)
+        self._sock.listen()
+        self._sock.settimeout(0.2)
+        self.ready.set()
+        while not self._stopping:
+            try:
+                connection, _ = self._sock.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                break
+            self.connections += 1
+            self._handle(connection)
+
+    def _handle(self, connection):
+        stream = connection.makefile("rwb")
+        try:
+            while True:
+                try:
+                    message = read_message_from(stream)
+                except (ProtocolError, OSError):
+                    break
+                if message is None:
+                    break
+                self.requests.append(message["op"])
+                action = self.script.pop(0) if self.script else "ok"
+                if action == "drop":
+                    break  # hang up without replying
+                if action == "overloaded":
+                    response = error_response(
+                        message["id"], "overloaded", "queue full"
+                    )
+                else:
+                    response = ok_response(message["id"], _OK_RESULT)
+                write_message_to(stream, response)
+        finally:
+            for closable in (stream, connection):
+                try:
+                    closable.close()
+                except OSError:
+                    pass
+
+
+@pytest.fixture()
+def scripted():
+    servers = []
+
+    def factory(script, bind_delay=0.0):
+        server = _ScriptedServer(script).start(bind_delay=bind_delay)
+        servers.append(server)
+        return server
+
+    yield factory
+    for server in servers:
+        server.stop()
+
+
+class TestConnectRetry:
+    def test_client_waits_for_a_late_listener(self, scripted):
+        server = scripted(["ok"], bind_delay=0.5)
+        # constructed before the listener is bound: the connect retries
+        # with backoff inside connect_timeout instead of failing outright
+        with ServeClient(port=server.port, connect_timeout=10.0) as client:
+            assert client.ping() == _OK_RESULT
+        assert server.connections == 1
+
+    def test_connect_gives_up_past_the_timeout(self):
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        dead_port = probe.getsockname()[1]
+        probe.close()  # nobody will ever listen here
+        with pytest.raises(OSError):
+            ServeClient(
+                port=dead_port, connect_timeout=0.3, backoff=0.05
+            )
+
+
+class TestRequestRetry:
+    def test_overloaded_mutation_is_retried(self, scripted):
+        server = scripted(["overloaded", "overloaded", "ok"])
+        with ServeClient(port=server.port, retries=3, backoff=0.01) as client:
+            result = client.insert(make_profile("x", text="alpha"), side=0)
+        assert result == _OK_RESULT
+        assert server.requests == ["insert", "insert", "insert"]
+
+    def test_overloaded_exhausts_the_retry_budget(self, scripted):
+        server = scripted(["overloaded"] * 3)
+        with ServeClient(port=server.port, retries=2, backoff=0.01) as client:
+            with pytest.raises(ServeError) as excinfo:
+                client.insert(make_profile("x", text="alpha"), side=0)
+        assert excinfo.value.error_type == "overloaded"
+        assert server.requests == ["insert"] * 3  # 1 try + 2 retries
+
+    def test_sent_write_is_never_retried_after_a_drop(self, scripted):
+        server = scripted(["drop", "ok"])
+        with ServeClient(port=server.port, retries=3, backoff=0.01) as client:
+            with pytest.raises(ProtocolError):
+                client.insert(make_profile("x", text="alpha"), side=0)
+            # the ambiguous write surfaced after ONE send: the daemon may
+            # have applied it, so the client must not resend it
+            assert server.requests == ["insert"]
+            # the connection re-establishes for the caller's next request
+            assert client.ping() == _OK_RESULT
+        assert server.connections == 2
+
+    def test_dropped_idempotent_read_is_retried(self, scripted):
+        server = scripted(["drop", "ok"])
+        with ServeClient(port=server.port, retries=2, backoff=0.01) as client:
+            assert client.match() == _OK_RESULT
+        assert server.requests == ["match", "match"]
+        assert server.connections == 2
