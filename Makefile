@@ -10,6 +10,7 @@
 #   make bench-parallel    - sharded-engine scaling bench (speedup vs workers)
 #   make bench-wal         - WAL durability bench (journal overhead, recovery)
 #   make bench-serve       - serving bench (ingest rate, match tails, recovery)
+#   make bench-delta       - delta-shipping bench (per-read bytes, snapshot vs delta)
 #   make bench-faults      - fault-recovery bench (worker MTTR, availability)
 #   make test-chaos        - seeded chaos suite (kill-loop against the daemon)
 #   make bench             - the full pytest-benchmark harness
@@ -17,7 +18,7 @@
 PYTHON ?= python
 PYTEST  = PYTHONPATH=src $(PYTHON) -m pytest
 
-.PHONY: test test-equivalence test-fast test-chaos bench-smoke bench-stream bench-churn bench-blocking bench-parallel bench-wal bench-serve bench-faults bench
+.PHONY: test test-equivalence test-fast test-chaos bench-smoke bench-stream bench-churn bench-blocking bench-parallel bench-wal bench-serve bench-delta bench-faults bench
 
 test:
 	$(PYTEST) -x -q
@@ -48,6 +49,9 @@ bench-wal:
 
 bench-serve:
 	$(PYTEST) -q benchmarks/bench_serve.py
+
+bench-delta:
+	$(PYTEST) -q benchmarks/bench_delta_shipping.py
 
 bench-faults:
 	$(PYTEST) -q benchmarks/bench_fault_recovery.py

@@ -136,6 +136,8 @@ def test_serve_latency(full_mode, tmp_path, report_sink):
         _stop(recovered, thread)
 
     quantiles = np.quantile(latencies, (0.5, 0.99)) if latencies else (0.0, 0.0)
+    counters = stats["metrics"]["counters"]
+    shipped_reads = counters.get("delta_reads", 0) + counters.get("full_reads", 0)
     payload = {
         "dataset": DATASET,
         "scale": scale,
@@ -150,6 +152,12 @@ def test_serve_latency(full_mode, tmp_path, report_sink):
         "live_entities": int(stats["daemon"]["entities"]),
         "live_pairs": int(stats["daemon"]["pairs"]),
         "retained_pairs": len(before["retained"]),
+        "read_bytes_shipped": int(counters.get("read_bytes_shipped", 0)),
+        "delta_reads": int(counters.get("delta_reads", 0)),
+        "full_reads": int(counters.get("full_reads", 0)),
+        "delta_hit_rate": float(
+            counters.get("delta_reads", 0) / shipped_reads if shipped_reads else 0.0
+        ),
         "shutdown_seconds": float(shutdown_seconds),
         "recover_to_serving_seconds": float(recover_seconds),
     }
@@ -170,6 +178,10 @@ def test_serve_latency(full_mode, tmp_path, report_sink):
                 f"p99 {payload['match_p99_ms']:.1f}ms "
                 f"over {len(latencies)} queries "
                 f"({payload['live_pairs']} live pairs)",
+                f"  read shipping: {payload['delta_reads']} delta / "
+                f"{payload['full_reads']} full "
+                f"({payload['delta_hit_rate']:.1%} delta hit rate), "
+                f"{payload['read_bytes_shipped']} bytes shipped",
                 f"  graceful shutdown {shutdown_seconds:.2f}s; "
                 f"recover to serving {recover_seconds:.2f}s; "
                 f"retained set identical across restart "

@@ -391,6 +391,7 @@ def _run_serve(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int
             tokenize_workers=args.workers,
             announce=True,
             degraded_reads=(args.degraded_reads == "on"),
+            delta_shipping=(args.delta_shipping == "on"),
             heartbeat_interval=args.heartbeat_interval,
             hang_timeout=args.hang_timeout,
             max_pending_mutations=args.max_pending,
@@ -705,6 +706,12 @@ def build_parser() -> argparse.ArgumentParser:
         dest="degraded_reads",
         help="while a shard worker rebuilds: serve reads from the authority "
         "with degraded:true (on, default) or fail fast with 'unavailable' (off)",
+    )
+    serve_parser.add_argument(
+        "--delta-shipping", default="on", choices=("on", "off"),
+        dest="delta_shipping",
+        help="ship only changed state on warm reads (on, default) or ship "
+        "the full shard state on every read (off)",
     )
     serve_parser.add_argument(
         "--heartbeat-interval", type=float, default=1.0,

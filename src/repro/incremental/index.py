@@ -199,6 +199,44 @@ class _Growable:
         self.view()[key] = value
 
 
+class _DeltaTracker:
+    """Dirty sets accumulated between two :meth:`MutableBlockIndex.export_delta`
+    calls.
+
+    Tracks *which* blocks and entities changed plus the tombstoned registry
+    positions; the changed values themselves are read off the index at
+    export time.  Everything appended past the recorded base watermarks
+    (slots, CSR, blocks, pair registry) is shipped as a tail, so only
+    in-place changes need explicit marking.
+    """
+
+    __slots__ = (
+        "base_epoch",
+        "base_slots",
+        "base_blocks",
+        "base_indptr",
+        "base_indices",
+        "base_pairs",
+        "blocks",
+        "entities",
+        "dead_pairs",
+    )
+
+    def __init__(self, index: "MutableBlockIndex") -> None:
+        self.rebase(index)
+
+    def rebase(self, index: "MutableBlockIndex") -> None:
+        self.base_epoch = index.epoch
+        self.base_slots = index.num_slots
+        self.base_blocks = index.num_blocks
+        self.base_indptr = len(index._indptr)
+        self.base_indices = len(index._indices)
+        self.base_pairs = index.num_registered_pairs
+        self.blocks: set = set()
+        self.entities: set = set()
+        self.dead_pairs: List[int] = []
+
+
 @dataclass(frozen=True)
 class InsertDelta:
     """What one ``add_entity`` changed: the new node and its new pairs."""
@@ -450,6 +488,14 @@ class MutableBlockIndex:
         self._wal_suspended = False
         self.generation: int = 0
 
+        # delta shipping: every applied mutation bumps ``epoch``; when a
+        # reader has enabled tracking (enable_delta_tracking), the dirty
+        # sets record which blocks/entities changed since the tracker's
+        # base epoch so export_delta can ship O(changed) instead of
+        # O(state).  Single-consumer by design (the serve read path).
+        self.epoch: int = 0
+        self._delta: Optional[_DeltaTracker] = None
+
     # -- durability --------------------------------------------------------------
     def attach_wal(self, wal) -> None:
         """Journal every following mutation to ``wal``.
@@ -607,6 +653,7 @@ class MutableBlockIndex:
     ) -> InsertDelta:
         """Insert with pre-extracted distinct signatures (the WAL replay and
         sharded-routing entry point; arguments must already be validated)."""
+        self.epoch += 1
         node = self._register_entity(entity_id, side)
 
         block_ids: List[int] = []
@@ -714,6 +761,7 @@ class MutableBlockIndex:
         """Bulk-insert ``(entity_id, signatures)`` entries (the WAL replay,
         snapshot rebuild and compaction entry point; entries must already be
         validated)."""
+        self.epoch += 1
         base = self.num_slots
         n_new = len(entries)
         self._register_entities_batch([entity_id for entity_id, _ in entries], side)
@@ -746,6 +794,8 @@ class MutableBlockIndex:
             self._block_cardinalities.extend(np.zeros(created, dtype=np.int64))
             self._inverse_block_cardinalities.extend(np.ones(created))
             self._inverse_block_sizes.extend(np.ones(created))
+            if self._delta is not None:
+                self._delta.blocks.update(range(blocks_before, len(block_keys)))
 
         num_blocks = np.int64(max(self.num_blocks, 1))
         relative_nodes = np.repeat(np.arange(n_new, dtype=np.int64), lengths)
@@ -802,6 +852,8 @@ class MutableBlockIndex:
         touched = grouped_blocks[starts]
         touched_list = touched.tolist()
         added = ends - starts
+        if self._delta is not None:
+            self._delta.blocks.update(touched_list)
 
         # old per-block state, gathered vectorized
         old_first = np.fromiter(
@@ -911,6 +963,8 @@ class MutableBlockIndex:
         # newly spawning blocks contribute their full new state
         if old_parts:
             old_nodes = np.concatenate(old_parts)
+            if self._delta is not None:
+                self._delta.entities.update(old_nodes.tolist())
             group_of = np.repeat(np.asarray(old_groups, dtype=np.int64), old_counts)
             was = was_spawning[group_of]
             inv_old_cardinality = 1.0 / np.maximum(old_cardinality, 1)
@@ -989,6 +1043,8 @@ class MutableBlockIndex:
         )
         self._sides.extend(np.full(n_new, side, dtype=np.int8))
         self._side_counts[side] += n_new
+        if self._delta is not None:
+            self._delta.entities.update(range(base, base + n_new))
         zeros = np.zeros(n_new)
         for array in (
             self._blocks_per_entity,
@@ -1029,6 +1085,7 @@ class MutableBlockIndex:
         if node is None:
             raise UnknownEntityError(entity_id, side)
         self._log_record({"op": "remove", "id": entity_id, "side": side})
+        self.epoch += 1
 
         block_ids = np.array(
             self._indices[self._indptr[node] : self._indptr[node + 1]], copy=True
@@ -1055,6 +1112,9 @@ class MutableBlockIndex:
             self._pair_alive[pair_positions] = False
             self._degrees[counterparts] -= 1.0
         self._num_live_pairs -= int(pair_positions.size)
+        if self._delta is not None:
+            self._delta.entities.add(node)
+            self._delta.dead_pairs.extend(pair_positions.tolist())
 
         # the departing node's aggregates must land at exactly zero; assign
         # rather than subtract so float residue cannot accumulate in dead slots
@@ -1143,6 +1203,8 @@ class MutableBlockIndex:
         self._node_of_id[(side, entity_id)] = node
         self._sides.append(side)
         self._side_counts[side] += 1
+        if self._delta is not None:
+            self._delta.entities.add(node)
         for array in (
             self._blocks_per_entity,
             self._entity_cardinality,
@@ -1163,6 +1225,7 @@ class MutableBlockIndex:
         and is skipped by every canonical view, exactly like a slot
         :meth:`remove_entity` has retired.
         """
+        self.epoch += 1
         node = self.num_slots
         if node >= MAX_NODE_ID:
             raise _node_id_overflow(node)
@@ -1224,6 +1287,8 @@ class MutableBlockIndex:
         self._block_cardinalities.append(0)
         self._inverse_block_cardinalities.append(1.0)
         self._inverse_block_sizes.append(1.0)
+        if self._delta is not None:
+            self._delta.blocks.add(block_id)
         return block_id
 
     def _store_block_state(self, block_id: int, size: int, cardinality: int) -> None:
@@ -1238,6 +1303,9 @@ class MutableBlockIndex:
         Returns the node ids the new entity is compared against within this
         block (``None`` when the block spawns no new comparison).
         """
+        tracker = self._delta
+        if tracker is not None:
+            tracker.blocks.add(block_id)
         first = self._members_first[block_id]
         second = self._members_second[block_id]
         old_size = len(first) + len(second)
@@ -1266,6 +1334,8 @@ class MutableBlockIndex:
             existing = np.fromiter(
                 first + second, dtype=np.int64, count=old_size
             )
+            if tracker is not None:
+                tracker.entities.update(existing.tolist())
             entity_cardinality[existing] += delta_cardinality
             entity_inv_cardinality[existing] += (
                 1.0 / new_cardinality - 1.0 / old_cardinality
@@ -1276,6 +1346,8 @@ class MutableBlockIndex:
             # the block just started spawning comparisons: it now counts
             # towards |B|, |B_i| and the inverse sums of all its members
             existing = np.fromiter(first + second, dtype=np.int64, count=old_size)
+            if tracker is not None:
+                tracker.entities.update(existing.tolist())
             blocks_per_entity[existing] += 1.0
             entity_cardinality[existing] += new_cardinality
             entity_inv_cardinality[existing] += 1.0 / new_cardinality
@@ -1312,6 +1384,9 @@ class MutableBlockIndex:
         Returns the node ids the departing entity was compared against
         within this block (each is one retracted pair candidate).
         """
+        tracker = self._delta
+        if tracker is not None:
+            tracker.blocks.add(block_id)
         first = self._members_first[block_id]
         second = self._members_second[block_id]
         old_size = len(first) + len(second)
@@ -1334,6 +1409,8 @@ class MutableBlockIndex:
         entity_inv_size = self._entity_inv_size.view()
         if old_cardinality > 0:
             remaining = np.fromiter(first + second, dtype=np.int64, count=new_size)
+            if tracker is not None:
+                tracker.entities.update(remaining.tolist())
             if new_cardinality > 0:
                 entity_cardinality[remaining] += delta_cardinality
                 entity_inv_cardinality[remaining] += (
@@ -1397,6 +1474,7 @@ class MutableBlockIndex:
         """
         wal = self._wal
         generation = self.generation + 1
+        epoch = self.epoch + 1
         fresh = MutableBlockIndex(
             blocking=self.blocking, bilateral=self.bilateral, name=self.name
         )
@@ -1407,6 +1485,11 @@ class MutableBlockIndex:
         self._wal = wal
         self._wal_suspended = False
         self.generation = generation
+        # raw node ids and registry positions were reassigned: any delta
+        # tracker's dirty sets are meaningless, so force the next export
+        # back to a full ship
+        self.epoch = epoch
+        self._delta = None
 
     def _dump_live_entities(self) -> Dict[int, List[Tuple[str, List[str]]]]:
         """Live entities per side, in arrival order, with stored signatures.
@@ -1521,3 +1604,169 @@ class MutableBlockIndex:
                 )
             )
         return BlockCollection(blocks, self.index_space(), name=self.name)
+
+    # -- delta shipping ---------------------------------------------------------
+    def _spawning_members(
+        self, block_ids: List[int]
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Flattened member lists + lengths for ``block_ids`` (ship layout)."""
+        first_lists = [self._members_first[b] for b in block_ids]
+        second_lists = [self._members_second[b] for b in block_ids]
+        count = len(block_ids)
+        first_counts = np.fromiter(
+            (len(m) for m in first_lists), dtype=np.int64, count=count
+        )
+        second_counts = np.fromiter(
+            (len(m) for m in second_lists), dtype=np.int64, count=count
+        )
+        flat_first = np.fromiter(
+            (node for members in first_lists for node in members),
+            dtype=np.int64,
+            count=int(first_counts.sum()),
+        )
+        flat_second = np.fromiter(
+            (node for members in second_lists for node in members),
+            dtype=np.int64,
+            count=int(second_counts.sum()),
+        )
+        return flat_first, first_counts, flat_second, second_counts
+
+    def _export_meta(self) -> dict:
+        return {
+            "bilateral": self.bilateral,
+            "name": self.name,
+            "num_slots": self.num_slots,
+            "num_blocks": self.num_blocks,
+            "num_nonempty_blocks": self.num_nonempty_blocks,
+            "total_cardinality": self.total_cardinality,
+            "side_counts": tuple(self._side_counts),
+            "num_pairs": self.num_pairs,
+            "epoch": self.epoch,
+        }
+
+    def export_state(self) -> dict:
+        """The full read-state ship: every array a pinned view needs.
+
+        Arrays are zero-copy views into the index — consume (copy or ship)
+        them before the next mutation.  Member lists are shipped for the
+        comparison-spawning blocks only; ``meta["block_keys"]`` carries
+        every block key so deltas can address blocks by raw id later.
+        """
+        cardinalities = self._block_cardinalities.view()
+        spawning = np.flatnonzero(cardinalities > 0)
+        flat_first, first_counts, flat_second, second_counts = (
+            self._spawning_members(spawning.tolist())
+        )
+        arrays = {
+            "indptr": self._indptr.view(),
+            "indices": self._indices.view(),
+            "sides": self._sides.view(),
+            "block_cardinality": cardinalities,
+            "inv_block_cardinality": self._inverse_block_cardinalities.view(),
+            "inv_block_size": self._inverse_block_sizes.view(),
+            "blocks_per_entity": self._blocks_per_entity.view(),
+            "entity_cardinality": self._entity_cardinality.view(),
+            "entity_inv_cardinality": self._entity_inv_cardinality.view(),
+            "entity_inv_size": self._entity_inv_size.view(),
+            "pair_left": self._pair_left.view(),
+            "pair_right": self._pair_right.view(),
+            "pair_alive": self._pair_alive.view(),
+            "member_blocks": spawning,
+            "members_first": flat_first,
+            "first_counts": first_counts,
+            "members_second": flat_second,
+            "second_counts": second_counts,
+        }
+        meta = self._export_meta()
+        meta["kind"] = "full"
+        meta["block_keys"] = list(self._block_keys)
+        return {"arrays": arrays, "meta": meta}
+
+    def enable_delta_tracking(self) -> int:
+        """Start (or restart) recording dirty sets from the current epoch.
+
+        Called by the read path right after a full ship: subsequent
+        :meth:`export_delta` calls against the returned epoch ship only
+        what changed.  Single consumer — re-enabling rebases the tracker.
+        """
+        if self._delta is None:
+            self._delta = _DeltaTracker(self)
+        else:
+            self._delta.rebase(self)
+        return self.epoch
+
+    def export_delta(self, since_epoch: int) -> Optional[dict]:
+        """Everything that changed since ``since_epoch``, or ``None``.
+
+        Returns ``None`` when no tracker is armed or its base does not
+        match ``since_epoch`` (stale reader, compaction, index replaced by
+        checkpoint adoption) — the caller must fall back to
+        :meth:`export_state`.  On success the tracker is rebased to the
+        current epoch, so the returned delta must be consumed before the
+        next mutation (arrays may be zero-copy views).
+
+        The wire layout mirrors :meth:`export_state`: appended slot/CSR/
+        pair-registry tails, the changed per-entity and per-block
+        aggregates as sorted id + value arrays, tombstoned nodes and
+        registry positions, and full member-list replacements for the
+        dirty blocks.
+        """
+        tracker = self._delta
+        if tracker is None or int(since_epoch) != tracker.base_epoch:
+            return None
+        sides = self._sides.view()
+        base_slots = tracker.base_slots
+        dirty_entities = np.fromiter(
+            sorted(tracker.entities), dtype=np.int64, count=len(tracker.entities)
+        )
+        if dirty_entities.size:
+            old = dirty_entities[dirty_entities < base_slots]
+            tombstoned = old[sides[old] < 0]
+        else:
+            tombstoned = np.empty(0, dtype=np.int64)
+        dirty_blocks = np.fromiter(
+            sorted(tracker.blocks), dtype=np.int64, count=len(tracker.blocks)
+        )
+        flat_first, first_counts, flat_second, second_counts = (
+            self._spawning_members(dirty_blocks.tolist())
+        )
+        dead = np.fromiter(
+            sorted(p for p in tracker.dead_pairs if p < tracker.base_pairs),
+            dtype=np.int64,
+        )
+        arrays = {
+            "indptr_tail": self._indptr.view()[tracker.base_indptr :],
+            "indices_tail": self._indices.view()[tracker.base_indices :],
+            "sides_tail": sides[base_slots:],
+            "tombstoned_nodes": tombstoned,
+            "dirty_entities": dirty_entities,
+            "dirty_blocks_per_entity": self._blocks_per_entity.view()[dirty_entities],
+            "dirty_entity_cardinality": self._entity_cardinality.view()[
+                dirty_entities
+            ],
+            "dirty_entity_inv_cardinality": self._entity_inv_cardinality.view()[
+                dirty_entities
+            ],
+            "dirty_entity_inv_size": self._entity_inv_size.view()[dirty_entities],
+            "dirty_blocks": dirty_blocks,
+            "dirty_block_cardinality": self._block_cardinalities.view()[dirty_blocks],
+            "dirty_inv_block_cardinality": self._inverse_block_cardinalities.view()[
+                dirty_blocks
+            ],
+            "dirty_inv_block_size": self._inverse_block_sizes.view()[dirty_blocks],
+            "pair_left_tail": self._pair_left.view()[tracker.base_pairs :],
+            "pair_right_tail": self._pair_right.view()[tracker.base_pairs :],
+            "pair_alive_tail": self._pair_alive.view()[tracker.base_pairs :],
+            "dead_pair_positions": dead,
+            "member_blocks": dirty_blocks,
+            "members_first": flat_first,
+            "first_counts": first_counts,
+            "members_second": flat_second,
+            "second_counts": second_counts,
+        }
+        meta = self._export_meta()
+        meta["kind"] = "delta"
+        meta["new_block_keys"] = self._block_keys[tracker.base_blocks :]
+        meta["base_epoch"] = tracker.base_epoch
+        tracker.rebase(self)
+        return {"arrays": arrays, "meta": meta}

@@ -383,6 +383,32 @@ class ShardedMutableBlockIndex:
             ]
         return merged
 
+    # -- delta shipping ----------------------------------------------------------
+    def epochs(self) -> List[int]:
+        """Per-shard mutation epochs (see :attr:`MutableBlockIndex.epoch`)."""
+        return [shard.epoch for shard in self.shards]
+
+    def enable_delta_tracking(self) -> List[int]:
+        """Arm delta tracking on every shard; returns the per-shard epochs."""
+        return [shard.enable_delta_tracking() for shard in self.shards]
+
+    def export_deltas(self, since_epochs) -> Optional[List[dict]]:
+        """Per-shard deltas since ``since_epochs``, all-or-nothing.
+
+        Returns ``None`` — without rebasing any shard's tracker — unless
+        every shard can serve a delta from its requested epoch; callers must
+        then fall back to full exports for all shards.
+        """
+        if len(since_epochs) != self.num_shards:
+            raise ValueError("one base epoch per shard required")
+        for shard, epoch in zip(self.shards, since_epochs):
+            if shard._delta is None or shard._delta.base_epoch != int(epoch):
+                return None
+        return [
+            shard.export_delta(epoch)
+            for shard, epoch in zip(self.shards, since_epochs)
+        ]
+
     # -- aggregate contract ------------------------------------------------------
     @property
     def num_entities(self) -> int:

@@ -46,7 +46,7 @@ from .features import (
 )
 from .planner import EntityShard, ShardPlanner, shard_of_signature, stable_hash
 from .pruning import parallel_prune
-from .shm import SharedArray, SharedArrayHandle, attach_view
+from .shm import SharedArray, SharedArrayHandle, attach_view, detach_view
 
 __all__ = [
     "EntityShard",
@@ -58,6 +58,7 @@ __all__ = [
     "WorkerCrashError",
     "assemble_blocks_sharded",
     "attach_view",
+    "detach_view",
     "extract_candidate_keys_sharded",
     "parallel_local_candidate_counts",
     "parallel_pair_cooccurrence",

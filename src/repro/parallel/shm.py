@@ -133,3 +133,21 @@ def attach_view(handle: SharedArrayHandle) -> np.ndarray:
             resource_tracker.register = original_register
         _ATTACHED[handle.name] = segment
     return np.ndarray(handle.shape, dtype=np.dtype(handle.dtype), buffer=segment.buf)
+
+
+def detach_view(name: str) -> None:
+    """Drop this process's cached attachment of segment ``name``.
+
+    Safe to call for unknown or owner-side names (no-op).  Callers must not
+    hold views into the segment past this point; the serve read path calls
+    it after copying a worker's export out of shared memory, so superseded
+    segments the worker has already unlinked do not linger in the attach
+    cache (the parent-side half of the ExportSlots leak fix).
+    """
+    segment = _ATTACHED.pop(name, None)
+    if segment is None:
+        return
+    try:
+        segment.close()
+    except (OSError, BufferError):  # pragma: no cover - platform dependent
+        pass

@@ -150,6 +150,7 @@ class MatchingDaemon:
         max_pending_mutations: int = 256,
         max_pending_reads: int = 256,
         adopt_min_gap: Optional[int] = None,
+        delta_shipping: bool = True,
     ) -> None:
         from ..persistence.log import WriteAheadLog
 
@@ -194,6 +195,7 @@ class MatchingDaemon:
         self.spawn_grace = spawn_grace
         self.max_pending_mutations = max_pending_mutations
         self.max_pending_reads = max_pending_reads
+        self.delta_shipping = delta_shipping
         self.metrics = ServerMetrics()
         # entity ids by node come from the authority index's append-only
         # registry: node slots are never reused, so the live resolver is
@@ -206,6 +208,8 @@ class MatchingDaemon:
             adopt_floor=adopt_floor,
             allow_from_zero=allow_from_zero,
             adopt_min_gap=adopt_min_gap,
+            metrics=self.metrics,
+            delta_shipping=delta_shipping,
         )
         from ..parallel import ParallelExecutor, resolve_workers
 
@@ -689,6 +693,7 @@ class MatchingDaemon:
                         "heartbeat_interval": self.heartbeat_interval,
                         "hang_timeout": self.hang_timeout,
                     },
+                    "delta_shipping": "on" if self.delta_shipping else "off",
                     "wal_broken": bool(self.session.wal.broken),
                 },
                 "shards": self.router.shard_stats(offset),

@@ -175,6 +175,18 @@ def render_stats(stats: Dict[str, Any]) -> str:
             + ", ".join(f"{name}={depth}" for name, depth in sorted(queues.items()))
         )
     counters = metrics.get("counters", {})
+    delta_reads = counters.get("delta_reads", 0)
+    full_reads = counters.get("full_reads", 0)
+    if delta_reads or full_reads:
+        shipped = delta_reads + full_reads
+        hit_rate = delta_reads / shipped if shipped else 0.0
+        lines.append(
+            f"read shipping: {delta_reads} delta / {full_reads} full "
+            f"({hit_rate:.1%} delta hit rate), "
+            f"{counters.get('read_bytes_shipped', 0)} bytes shipped "
+            f"({counters.get('read_bytes_delta', 0)} delta, "
+            f"{counters.get('read_bytes_full', 0)} full)"
+        )
     if counters:
         lines.append(
             "events: "

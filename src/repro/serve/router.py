@@ -17,10 +17,20 @@ Entity-id resolution is delegated to a caller-provided function: node ids
 are append-only in the authority index (slots are tombstoned, never
 reused), so the daemon's live ``entity_id(node)`` is correct for any node
 that exists at *any* pinned offset ≤ the current one.
+
+Shipping is incremental: the router keeps one **resident**
+:class:`ShardStateStub` per shard and hands each worker a
+``{"lineage", "epoch"}`` handshake describing the state it already holds;
+the worker replies with a delta (applied to the resident stub in place) or
+a full state (first contact, respawned worker, checkpoint adoption or
+compaction — anything that breaks the lineage).  Only the cheap merged
+wrapper is rebuilt per query.
 """
 
 from __future__ import annotations
 
+import threading
+import time
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -28,28 +38,27 @@ import numpy as np
 from ..core.pruning import SupervisedPruningAlgorithm
 from ..datamodel import Block, BlockCollection, CandidateSet, EntityIndexSpace
 from ..incremental.delta import DeltaFeatureGenerator
-from ..incremental.index import pack_pair_keys
+from ..incremental.index import _Growable, pack_pair_keys
 from ..incremental.sharded import ShardedMutableBlockIndex
 from ..weights.sparse import EntityBlockCSR
 from .workers import ShardWorkerHandle, WorkerError
 
+_EMPTY_MEMBERS = np.empty(0, dtype=np.int64)
 
-class _ArrayCell:
-    """Duck-types ``_Growable`` for read access: ``.view()`` over a plain array."""
 
-    __slots__ = ("_array",)
+def _grown(array: np.ndarray) -> _Growable:
+    cell = _Growable(array.dtype, capacity=max(1, int(array.size)))
+    cell.extend(array)
+    return cell
 
-    def __init__(self, array: np.ndarray) -> None:
-        self._array = array
 
-    def view(self) -> np.ndarray:
-        return self._array
-
-    def __len__(self) -> int:
-        return self._array.size
-
-    def __getitem__(self, key):
-        return self._array[key]
+def _split_flat(flat: np.ndarray, counts: np.ndarray) -> List[np.ndarray]:
+    """Split a flattened member array back into per-block arrays."""
+    if counts.size == 0:
+        return []
+    return np.split(
+        np.ascontiguousarray(flat), np.cumsum(counts)[:-1].tolist()
+    )
 
 
 class ShardStateStub:
@@ -57,49 +66,144 @@ class ShardStateStub:
 
     Implements exactly the attributes and methods the sharded merge layer
     touches on its shards: the ``_Growable``-shaped aggregate arrays, the
-    alive-filtered pair registry (``_pair_alive`` is all-True because the
-    worker pre-filters), :meth:`csr`, :meth:`snapshot_blocks` and the
-    node-registry helpers.
+    full pair registry with its alive mask, :meth:`csr`,
+    :meth:`snapshot_blocks` and the node-registry helpers.
+
+    Unlike its PR 7 ancestor the stub is *persistent*: :meth:`apply_full`
+    (re)builds it from a full ship and :meth:`apply_delta` advances it in
+    place — appended slot/CSR/pair tails, scattered per-entity and
+    per-block aggregates, tombstones, member-list replacements — so a warm
+    read costs O(changed), not O(state).  ``_members`` may retain entries
+    for blocks that have since stopped spawning comparisons; every reader
+    filters on ``block_cardinality > 0`` first.
     """
 
-    def __init__(
-        self,
-        arrays: Dict[str, np.ndarray],
-        meta: Dict[str, Any],
-        resolve_entity_id: Callable[[int], str],
-    ) -> None:
-        self.bilateral = bool(meta["bilateral"])
-        self.name = meta["name"]
+    def __init__(self, resolve_entity_id: Callable[[int], str]) -> None:
+        self._resolve = resolve_entity_id
+        self._canonical: Optional[np.ndarray] = None
+        #: block id -> (first-side members, second-side members)
+        self._members: Dict[int, Tuple[np.ndarray, np.ndarray]] = {}
+
+    def _refresh_scalars(self, meta: Dict[str, Any]) -> None:
         self.num_blocks = int(meta["num_blocks"])
         self.num_nonempty_blocks = int(meta["num_nonempty_blocks"])
         self.total_cardinality = int(meta["total_cardinality"])
         self._side_counts = list(meta["side_counts"])
+        if len(self._block_keys) != self.num_blocks:
+            raise WorkerError(
+                f"shard state desynchronized: {len(self._block_keys)} block "
+                f"keys held but the shipped state reports {self.num_blocks}"
+            )
+        if len(self._sides) != int(meta["num_slots"]):
+            raise WorkerError(
+                f"shard state desynchronized: {len(self._sides)} node slots "
+                f"held but the shipped state reports {meta['num_slots']}"
+            )
+
+    def apply_full(self, arrays: Dict[str, np.ndarray], meta: Dict[str, Any]) -> None:
+        """(Re)build the stub from a complete shipped state."""
+        self.bilateral = bool(meta["bilateral"])
+        self.name = meta["name"]
         self._block_keys = list(meta["block_keys"])
-        self._indptr_array = arrays["indptr"]
-        self._indices_array = arrays["indices"]
-        self._inverse_block_cardinalities = _ArrayCell(arrays["inv_block_cardinality"])
-        self._inverse_block_sizes = _ArrayCell(arrays["inv_block_size"])
-        self._blocks_per_entity = _ArrayCell(arrays["blocks_per_entity"])
-        self._entity_cardinality = _ArrayCell(arrays["entity_cardinality"])
-        self._entity_inv_cardinality = _ArrayCell(arrays["entity_inv_cardinality"])
-        self._entity_inv_size = _ArrayCell(arrays["entity_inv_size"])
-        self._pair_left = _ArrayCell(arrays["pair_left"])
-        self._pair_right = _ArrayCell(arrays["pair_right"])
-        self._pair_alive = _ArrayCell(
-            np.ones(arrays["pair_left"].size, dtype=np.bool_)
+        self._indptr = _grown(arrays["indptr"])
+        self._indices = _grown(arrays["indices"])
+        self._sides = _grown(arrays["sides"])
+        self._block_cardinalities = _grown(arrays["block_cardinality"])
+        self._inverse_block_cardinalities = _grown(arrays["inv_block_cardinality"])
+        self._inverse_block_sizes = _grown(arrays["inv_block_size"])
+        self._blocks_per_entity = _grown(arrays["blocks_per_entity"])
+        self._entity_cardinality = _grown(arrays["entity_cardinality"])
+        self._entity_inv_cardinality = _grown(arrays["entity_inv_cardinality"])
+        self._entity_inv_size = _grown(arrays["entity_inv_size"])
+        self._pair_left = _grown(arrays["pair_left"])
+        self._pair_right = _grown(arrays["pair_right"])
+        self._pair_alive = _grown(arrays["pair_alive"])
+        self._num_live = int(np.count_nonzero(arrays["pair_alive"]))
+        self._members = dict(
+            zip(
+                arrays["member_blocks"].tolist(),
+                zip(
+                    _split_flat(arrays["members_first"], arrays["first_counts"]),
+                    _split_flat(arrays["members_second"], arrays["second_counts"]),
+                ),
+            )
         )
-        self._sides_array = arrays["sides"]
-        self._members_first = arrays["members_first"]
-        self._first_counts = arrays["first_counts"]
-        self._members_second = arrays["members_second"]
-        self._second_counts = arrays["second_counts"]
-        self._resolve = resolve_entity_id
-        self._canonical: Optional[np.ndarray] = None
+        self._canonical = None
+        self._refresh_scalars(meta)
+
+    def apply_delta(self, arrays: Dict[str, np.ndarray], meta: Dict[str, Any]) -> None:
+        """Advance the stub in place by one shipped delta."""
+        self._canonical = None
+        # new node slots: sides tail + zeroed per-entity aggregates (the
+        # dirty-entity scatter below fills in the real values)
+        sides_tail = arrays["sides_tail"]
+        if sides_tail.size:
+            self._sides.extend(sides_tail)
+            zeros = np.zeros(sides_tail.size)
+            for cell in (
+                self._blocks_per_entity,
+                self._entity_cardinality,
+                self._entity_inv_cardinality,
+                self._entity_inv_size,
+            ):
+                cell.extend(zeros)
+        tombstoned = arrays["tombstoned_nodes"]
+        if tombstoned.size:
+            self._sides[tombstoned] = np.int8(-1)
+        dirty_entities = arrays["dirty_entities"]
+        if dirty_entities.size:
+            self._blocks_per_entity[dirty_entities] = arrays["dirty_blocks_per_entity"]
+            self._entity_cardinality[dirty_entities] = arrays[
+                "dirty_entity_cardinality"
+            ]
+            self._entity_inv_cardinality[dirty_entities] = arrays[
+                "dirty_entity_inv_cardinality"
+            ]
+            self._entity_inv_size[dirty_entities] = arrays["dirty_entity_inv_size"]
+        # new blocks: keys + neutral aggregates, then the dirty scatter
+        new_keys = list(meta["new_block_keys"])
+        if new_keys:
+            self._block_keys.extend(new_keys)
+            self._block_cardinalities.extend(
+                np.zeros(len(new_keys), dtype=np.int64)
+            )
+            self._inverse_block_cardinalities.extend(np.ones(len(new_keys)))
+            self._inverse_block_sizes.extend(np.ones(len(new_keys)))
+        dirty_blocks = arrays["dirty_blocks"]
+        if dirty_blocks.size:
+            self._block_cardinalities[dirty_blocks] = arrays["dirty_block_cardinality"]
+            self._inverse_block_cardinalities[dirty_blocks] = arrays[
+                "dirty_inv_block_cardinality"
+            ]
+            self._inverse_block_sizes[dirty_blocks] = arrays["dirty_inv_block_size"]
+        # CSR tails (rows are append-only, removals never rewrite them)
+        if arrays["indices_tail"].size:
+            self._indices.extend(arrays["indices_tail"])
+        if arrays["indptr_tail"].size:
+            self._indptr.extend(arrays["indptr_tail"])
+        # pair registry: appended tail + tombstoned positions
+        tail = arrays["pair_left_tail"]
+        if tail.size:
+            alive_tail = arrays["pair_alive_tail"]
+            self._pair_left.extend(tail)
+            self._pair_right.extend(arrays["pair_right_tail"])
+            self._pair_alive.extend(alive_tail)
+            self._num_live += int(np.count_nonzero(alive_tail))
+        dead = arrays["dead_pair_positions"]
+        if dead.size:
+            self._pair_alive[dead] = False
+            self._num_live -= int(dead.size)
+        # member-list replacement for every dirty block
+        firsts = _split_flat(arrays["members_first"], arrays["first_counts"])
+        seconds = _split_flat(arrays["members_second"], arrays["second_counts"])
+        for position, block_id in enumerate(arrays["member_blocks"].tolist()):
+            self._members[block_id] = (firsts[position], seconds[position])
+        self._refresh_scalars(meta)
 
     # -- registry surface --------------------------------------------------------
     @property
     def num_slots(self) -> int:
-        return self._sides_array.size
+        return len(self._sides)
 
     @property
     def num_entities(self) -> int:
@@ -107,16 +211,16 @@ class ShardStateStub:
 
     @property
     def num_pairs(self) -> int:
-        return self._pair_left.view().size
+        return self._num_live
 
     def sides(self) -> np.ndarray:
-        return self._sides_array
+        return self._sides.view()
 
     def side_of(self, node: int) -> int:
-        return int(self._sides_array[node])
+        return int(self._sides[node])
 
     def is_live(self, node: int) -> bool:
-        return int(self._sides_array[node]) >= 0
+        return int(self._sides[node]) >= 0
 
     def entity_id(self, node: int) -> str:
         return self._resolve(int(node))
@@ -128,7 +232,7 @@ class ShardStateStub:
 
     def canonical_node_ids(self) -> np.ndarray:
         if self._canonical is None:
-            sides = self._sides_array
+            sides = self._sides.view()
             canonical = np.full(sides.size, -1, dtype=np.int64)
             first_nodes = np.flatnonzero(sides == 0)
             canonical[first_nodes] = np.arange(first_nodes.size, dtype=np.int64)
@@ -152,35 +256,67 @@ class ShardStateStub:
     # -- block surface -----------------------------------------------------------
     def csr(self) -> EntityBlockCSR:
         return EntityBlockCSR(
-            indptr=self._indptr_array,
-            indices=self._indices_array,
+            indptr=self._indptr.view(),
+            indices=self._indices.view(),
             num_blocks=self.num_blocks,
         )
 
     def snapshot_blocks(self) -> BlockCollection:
         canonical = self.canonical_node_ids()
         blocks: List[Block] = []
-        first_position = 0
-        second_position = 0
-        for offset, key in enumerate(self._block_keys):
-            first_end = first_position + int(self._first_counts[offset])
-            second_end = second_position + int(self._second_counts[offset])
+        spawning = np.flatnonzero(self._block_cardinalities.view() > 0)
+        for block_id in spawning.tolist():
+            first, second = self._members.get(
+                block_id, (_EMPTY_MEMBERS, _EMPTY_MEMBERS)
+            )
             blocks.append(
                 Block(
-                    key=key,
+                    key=self._block_keys[block_id],
                     entities_first=sorted(
-                        int(canonical[node])
-                        for node in self._members_first[first_position:first_end]
+                        int(canonical[node]) for node in first.tolist()
                     ),
                     entities_second=sorted(
-                        int(canonical[node])
-                        for node in self._members_second[second_position:second_end]
+                        int(canonical[node]) for node in second.tolist()
                     ),
                 )
             )
-            first_position = first_end
-            second_position = second_end
         return BlockCollection(blocks, self.index_space(), name=self.name)
+
+
+class _ResidentShard:
+    """One shard's resident stub plus the handshake that advances it."""
+
+    __slots__ = ("stub", "lineage", "epoch")
+
+    def __init__(self, stub: ShardStateStub, lineage: str, epoch: int) -> None:
+        self.stub = stub
+        self.lineage = lineage
+        self.epoch = epoch
+
+
+def merged_stub_view(
+    stubs: Sequence[ShardStateStub], name: str = "serve-pinned"
+) -> ShardedMutableBlockIndex:
+    """The cheap merged wrapper over per-shard stubs.
+
+    A real :class:`ShardedMutableBlockIndex` (built without ``__init__``)
+    so every merged read path — pair union, shard-major CSR concatenation,
+    :class:`~repro.incremental.sharded.ShardedStatistics`, canonical
+    renumbering, snapshot blocks — runs the PR 5 merge code unchanged.
+    Built fresh per query (it caches merged pairs), over stubs that may be
+    long-lived residents.
+    """
+    view = ShardedMutableBlockIndex.__new__(ShardedMutableBlockIndex)
+    view.blocking = None
+    view.bilateral = bool(stubs[0].bilateral)
+    view.num_shards = len(stubs)
+    view.name = name
+    view.executor = None
+    view.shards = list(stubs)
+    view._mutations = 0
+    view._pairs_cache = None
+    view._wal = None
+    return view
 
 
 def build_pinned_view(
@@ -188,33 +324,25 @@ def build_pinned_view(
     resolve_entity_id: Callable[[int], str],
     name: str = "serve-pinned",
 ) -> ShardedMutableBlockIndex:
-    """Assemble shard states into a read-only sharded index view.
+    """Assemble *full* shard states into a read-only sharded index view.
 
-    The view is a real :class:`ShardedMutableBlockIndex` (built without
-    ``__init__``) whose shards are :class:`ShardStateStub` objects — every
-    merged read path (``candidate_set``, ``statistics``,
-    ``canonical_candidates``, ``snapshot_blocks``) runs the PR 5 merge code
-    unchanged.  All states must be pinned at the same WAL offset.
+    The from-scratch assembly (and the oracle the resident delta-maintained
+    path is property-tested against): every state must be a ``kind ==
+    "full"`` ship, all pinned at the same WAL offset.
     """
     if not states:
         raise ValueError("at least one shard state is required")
     offsets = {int(state["meta"]["offset"]) for state in states}
     if len(offsets) != 1:
         raise ValueError(f"shard states pin different offsets: {sorted(offsets)}")
-    view = ShardedMutableBlockIndex.__new__(ShardedMutableBlockIndex)
-    view.blocking = None
-    view.bilateral = bool(states[0]["meta"]["bilateral"])
-    view.num_shards = len(states)
-    view.name = name
-    view.executor = None
-    view.shards = [
-        ShardStateStub(state["arrays"], state["meta"], resolve_entity_id)
-        for state in states
-    ]
-    view._mutations = 0
-    view._pairs_cache = None
-    view._wal = None
-    return view
+    stubs = []
+    for state in states:
+        if state.get("kind", state["meta"].get("kind", "full")) != "full":
+            raise ValueError("build_pinned_view requires full shard states")
+        stub = ShardStateStub(resolve_entity_id)
+        stub.apply_full(state["arrays"], state["meta"])
+        stubs.append(stub)
+    return merged_stub_view(stubs, name=name)
 
 
 # -- query evaluation over a pinned view -----------------------------------------
@@ -300,6 +428,14 @@ class ShardRouter:
     while reads keep flowing through the others.  Handle swaps happen under
     the router lock; request traffic holds each handle's own lock, so a
     swapped-out worker is never written to mid-request.
+
+    Reads are delta-shipped: the router keeps one resident
+    :class:`ShardStateStub` per shard and passes each worker the
+    ``{"lineage", "epoch"}`` base it holds, so a warm read ships only what
+    changed since the previous one.  A respawn invalidates the shard's
+    resident entry; even if an in-flight read resurrects a stale entry the
+    replacement worker's fresh lineage token forces the next read to ship
+    full state, so the resident view can never silently diverge.
     """
 
     def __init__(
@@ -312,9 +448,9 @@ class ShardRouter:
         adopt_floor: Optional[int] = None,
         allow_from_zero: bool = True,
         adopt_min_gap: Optional[int] = None,
+        metrics=None,
+        delta_shipping: bool = True,
     ) -> None:
-        import threading
-
         if num_shards < 1:
             raise ValueError("num_shards must be at least 1")
         self.wal_dir = wal_dir
@@ -327,8 +463,14 @@ class ShardRouter:
         self._adopt_floor = adopt_floor
         self._allow_from_zero = allow_from_zero
         self._adopt_min_gap = adopt_min_gap
+        self.metrics = metrics
+        self.delta_shipping = bool(delta_shipping)
         self._lock = threading.Lock()
         self._handles: List[ShardWorkerHandle] = []
+        #: reads are serialized (the daemon already runs them on a single
+        #: reader thread; the lock makes the resident state safe regardless)
+        self._read_lock = threading.Lock()
+        self._resident: List[Optional[_ResidentShard]] = [None] * num_shards
 
     def _spawn(self, shard: int) -> ShardWorkerHandle:
         return ShardWorkerHandle(
@@ -384,6 +526,9 @@ class ShardRouter:
             if swapped:
                 current = self._handles[shard]
                 self._handles[shard] = fresh
+                # the replacement holds no shipped base; drop the resident
+                # view so the next read full-ships from the new worker
+                self._resident[shard] = None
         if not swapped:
             fresh.kill()
             return None
@@ -400,16 +545,22 @@ class ShardRouter:
         """Send a command to every worker first, then collect — workers
         compute concurrently.
 
+        ``command`` is one tuple broadcast to the whole fleet, or a list of
+        per-shard tuples (positional; must match the fleet size).
+
         Every handle's lock is held for the duration (``busy_since`` set for
         the supervisor's hang detection).  On a partial failure the workers
         already sent to still owe replies; they are drained so their pipes
         stay in sync — a drain blocked on a wedged worker resolves when the
         supervisor kills it (EOF → :class:`WorkerError`).
         """
-        import time
-
+        per_handle = command if isinstance(command, list) else None
         with self._lock:
             handles = list(self._handles)
+        if per_handle is not None and len(per_handle) != len(handles):
+            raise WorkerError(
+                f"{len(per_handle)} per-shard commands for {len(handles)} workers"
+            )
         for handle in handles:
             handle.lock.acquire()
         now = time.monotonic()
@@ -417,8 +568,10 @@ class ShardRouter:
             handle.busy_since = now
         owed: List[ShardWorkerHandle] = []
         try:
-            for handle in handles:
-                handle.send(command)
+            for position, handle in enumerate(handles):
+                handle.send(
+                    per_handle[position] if per_handle is not None else command
+                )
                 owed.append(handle)
             results = []
             while owed:
@@ -440,11 +593,76 @@ class ShardRouter:
     def pinned_view(
         self, offset: int, lookup: Optional[Tuple[int, str]] = None
     ) -> Tuple[ShardedMutableBlockIndex, int]:
-        """A read view pinned at ``offset`` plus the optional node lookup."""
-        payloads = self._fan_out(("read", int(offset), lookup))
-        states = [ShardWorkerHandle.materialize(payload) for payload in payloads]
-        view = build_pinned_view(states, self._resolve)
-        return view, int(states[0]["meta"]["lookup_node"])
+        """A read view pinned at ``offset`` plus the optional node lookup.
+
+        Ships deltas against the resident per-shard stubs when the workers
+        still hold the lineage the router last received from them; any
+        mismatch (first contact, respawn, checkpoint adoption, compaction,
+        ``delta_shipping`` off) degrades to a full ship for that shard.
+        """
+        with self._read_lock:
+            with self._lock:
+                resident = list(self._resident)
+            commands = []
+            for shard in range(self.num_shards):
+                entry = resident[shard] if self.delta_shipping else None
+                base = (
+                    {"lineage": entry.lineage, "epoch": entry.epoch}
+                    if entry is not None
+                    else None
+                )
+                commands.append(("read", int(offset), lookup, base))
+            payloads = self._fan_out(commands)
+            states = [
+                ShardWorkerHandle.materialize(payload) for payload in payloads
+            ]
+            offsets = {int(state["meta"]["offset"]) for state in states}
+            if len(offsets) != 1:
+                raise WorkerError(
+                    f"shard states pin different offsets: {sorted(offsets)}"
+                )
+            started = time.perf_counter()
+            full_reads = delta_reads = 0
+            bytes_full = bytes_delta = 0
+            for shard, state in enumerate(states):
+                meta = state["meta"]
+                nbytes = sum(int(a.nbytes) for a in state["arrays"].values())
+                if state["kind"] == "delta":
+                    entry = resident[shard]
+                    if (
+                        entry is None
+                        or entry.lineage != meta["lineage"]
+                        or entry.epoch != int(meta["base_epoch"])
+                    ):
+                        raise WorkerError(
+                            f"shard {shard} shipped a delta against a base "
+                            "the router does not hold"
+                        )
+                    entry.stub.apply_delta(state["arrays"], meta)
+                    entry.epoch = int(meta["epoch"])
+                    delta_reads += 1
+                    bytes_delta += nbytes
+                else:
+                    stub = ShardStateStub(self._resolve)
+                    stub.apply_full(state["arrays"], meta)
+                    resident[shard] = _ResidentShard(
+                        stub, str(meta["lineage"]), int(meta["epoch"])
+                    )
+                    full_reads += 1
+                    bytes_full += nbytes
+            with self._lock:
+                self._resident = resident
+            if self.metrics is not None:
+                self.metrics.increment("read_bytes_shipped", bytes_full + bytes_delta)
+                self.metrics.increment("read_bytes_full", bytes_full)
+                self.metrics.increment("read_bytes_delta", bytes_delta)
+                self.metrics.increment("full_reads", full_reads)
+                self.metrics.increment("delta_reads", delta_reads)
+                self.metrics.record(
+                    "view_apply", time.perf_counter() - started, True
+                )
+            view = merged_stub_view([entry.stub for entry in resident])
+            return view, int(states[0]["meta"]["lookup_node"])
 
     def shard_stats(self, offset: int) -> List[Dict[str, Any]]:
         """Per-shard counters at ``offset`` (tolerant: a dead or rebuilding
@@ -464,5 +682,6 @@ class ShardRouter:
         """Stop every worker (idempotent)."""
         with self._lock:
             handles, self._handles = self._handles, []
+            self._resident = [None] * self.num_shards
         for handle in handles:
             handle.stop()

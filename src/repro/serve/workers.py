@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import json
 import traceback
+import uuid
 import zlib
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence, Tuple
@@ -32,7 +33,7 @@ import numpy as np
 from .. import faults
 from ..incremental.index import MutableBlockIndex, UnknownEntityError
 from ..parallel.planner import shard_of_signature
-from ..parallel.shm import SharedArray, SharedArrayHandle, attach_view
+from ..parallel.shm import SharedArray, SharedArrayHandle, attach_view, detach_view
 from ..persistence.log import LOG_MAGIC, MAX_RECORD_BYTES, _RECORD_HEADER
 
 
@@ -183,6 +184,16 @@ class ShardReplica:
         self.adopt_min_gap = adopt_min_gap
         #: sequence number of the snapshot this replica adopted, if any
         self.adopted_sequence: Optional[int] = None
+        #: delta-shipping lineage token: a delta is only valid against a
+        #: base shipped by this very replica object.  Respawned workers get
+        #: a fresh token, so a router holding a dead worker's state always
+        #: receives a full re-ship (an epoch number alone could collide —
+        #: a fresh replica deterministically replaying the same log reaches
+        #: the same epochs)
+        self.lineage = uuid.uuid4().hex
+        #: read-state ship counters (full vs delta), for the stats endpoint
+        self.ships_full = 0
+        self.ships_delta = 0
 
     @property
     def offset(self) -> int:
@@ -371,8 +382,20 @@ class ShardReplica:
         faults.on_record_applied()
 
     # -- read-state extraction ---------------------------------------------------
-    def read_state(self, lookup: Optional[Tuple[int, str]] = None) -> Dict[str, Any]:
-        """The shard's complete read surface as plain arrays + metadata.
+    def read_state(
+        self,
+        lookup: Optional[Tuple[int, str]] = None,
+        base: Optional[Dict[str, Any]] = None,
+    ) -> Dict[str, Any]:
+        """The shard's read surface: a full state or a delta against ``base``.
+
+        ``base`` is the router's handshake — ``{"lineage", "epoch"}``
+        describing the state it already holds.  When the lineage matches
+        this replica and the delta tracker's base matches the epoch, only
+        what changed since is shipped (``kind == "delta"``); otherwise —
+        first contact, respawned worker, index replaced by checkpoint
+        adoption or compaction — the complete state is shipped
+        (``kind == "full"``) and delta tracking is (re-)armed.
 
         ``lookup`` optionally resolves ``(side, entity_id)`` to its node id
         at this state (every shard holds the full entity registry, so any
@@ -383,47 +406,6 @@ class ShardReplica:
             raise WalFollowError(
                 "the replica has not reached the log's meta record yet"
             )
-        alive = index._pair_alive.view()
-        cardinalities = index._block_cardinalities.view()
-        spawning = np.flatnonzero(cardinalities > 0)
-        spawn_list = spawning.tolist()
-        first_lists = [index._members_first[b] for b in spawn_list]
-        second_lists = [index._members_second[b] for b in spawn_list]
-        first_counts = np.fromiter(
-            (len(members) for members in first_lists),
-            dtype=np.int64,
-            count=len(first_lists),
-        )
-        second_counts = np.fromiter(
-            (len(members) for members in second_lists),
-            dtype=np.int64,
-            count=len(second_lists),
-        )
-        arrays = {
-            "indptr": index._indptr.view(),
-            "indices": index._indices.view(),
-            "inv_block_cardinality": index._inverse_block_cardinalities.view(),
-            "inv_block_size": index._inverse_block_sizes.view(),
-            "blocks_per_entity": index._blocks_per_entity.view(),
-            "entity_cardinality": index._entity_cardinality.view(),
-            "entity_inv_cardinality": index._entity_inv_cardinality.view(),
-            "entity_inv_size": index._entity_inv_size.view(),
-            "pair_left": index._pair_left.view()[alive],
-            "pair_right": index._pair_right.view()[alive],
-            "sides": index._sides.view(),
-            "members_first": np.fromiter(
-                (node for members in first_lists for node in members),
-                dtype=np.int64,
-                count=int(first_counts.sum()),
-            ),
-            "first_counts": first_counts,
-            "members_second": np.fromiter(
-                (node for members in second_lists for node in members),
-                dtype=np.int64,
-                count=int(second_counts.sum()),
-            ),
-            "second_counts": second_counts,
-        }
         lookup_node = -1
         if lookup is not None:
             side, entity_id = lookup
@@ -431,22 +413,26 @@ class ShardReplica:
                 lookup_node = index.node_of(entity_id, side=int(side))
             except UnknownEntityError:
                 lookup_node = -1
-        meta = {
-            "shard": self.shard,
-            "offset": self.offset,
-            "bilateral": self.bilateral,
-            "name": index.name,
-            "num_blocks": index.num_blocks,
-            "num_nonempty_blocks": index.num_nonempty_blocks,
-            "total_cardinality": index.total_cardinality,
-            "side_counts": tuple(index._side_counts),
-            "block_keys": [index._block_keys[b] for b in spawn_list],
-            "lookup_node": int(lookup_node),
-            "records_replayed": self.follower.records_delivered,
-            "bytes_skipped": self.follower.bytes_skipped,
-            "adopted_snapshot": self.adopted_sequence,
-        }
-        return {"arrays": arrays, "meta": meta}
+        shipped = None
+        if base is not None and base.get("lineage") == self.lineage:
+            shipped = index.export_delta(base.get("epoch"))
+        if shipped is None:
+            shipped = index.export_state()
+            index.enable_delta_tracking()
+            self.ships_full += 1
+        else:
+            self.ships_delta += 1
+        meta = dict(shipped["meta"])
+        meta.update(
+            shard=self.shard,
+            offset=self.offset,
+            lookup_node=int(lookup_node),
+            lineage=self.lineage,
+            records_replayed=self.follower.records_delivered,
+            bytes_skipped=self.follower.bytes_skipped,
+            adopted_snapshot=self.adopted_sequence,
+        )
+        return {"kind": meta["kind"], "arrays": shipped["arrays"], "meta": meta}
 
     def shard_stats(self) -> Dict[str, Any]:
         """Small per-shard counters for the ``stats`` endpoint."""
@@ -455,6 +441,8 @@ class ShardReplica:
             "records_replayed": self.follower.records_delivered,
             "bytes_skipped": self.follower.bytes_skipped,
             "adopted_snapshot": self.adopted_sequence,
+            "ships_full": self.ships_full,
+            "ships_delta": self.ships_delta,
         }
         if index is None:
             return {"shard": self.shard, "offset": self.offset, "blocks": 0,
@@ -479,13 +467,15 @@ class ExportSlots:
     """A worker's persistent registry of named shared-memory export slots.
 
     One reusable segment per state array: grown geometrically when an
-    export outgrows its capacity (the old segment is unlinked), written in
-    place otherwise.  Only handles sized to the *actual* array length cross
-    the pipe — the parent never sees the slack capacity.
+    export outgrows its capacity (the old segment is unlinked *eagerly* and
+    its name recorded so the parent can drop its cached attachment too),
+    written in place otherwise.  Only handles sized to the *actual* array
+    length cross the pipe — the parent never sees the slack capacity.
     """
 
     def __init__(self) -> None:
         self._slots: Dict[str, SharedArray] = {}
+        self._retired: List[str] = []
 
     def export(self, name: str, array: np.ndarray) -> SharedArrayHandle:
         array = np.ascontiguousarray(array)
@@ -496,6 +486,9 @@ class ExportSlots:
             or slot.array.size < array.size
         ):
             if slot is not None:
+                # free the superseded segment now, not at worker exit; the
+                # parent learns the name via drain_retired and detaches
+                self._retired.append(slot.handle.name)
                 slot.close()
             capacity = max(1, 2 * array.size)
             slot = SharedArray(shape=(capacity,), dtype=array.dtype)
@@ -504,6 +497,12 @@ class ExportSlots:
         return SharedArrayHandle(
             name=slot.handle.name, shape=(array.size,), dtype=array.dtype.str
         )
+
+    def drain_retired(self) -> List[str]:
+        """Names of segments unlinked since the last drain (ship with the
+        reply so the parent can evict stale attachments)."""
+        retired, self._retired = self._retired, []
+        return retired
 
     def close(self) -> None:
         for slot in self._slots.values():
@@ -526,8 +525,9 @@ def shard_worker_main(
     Commands arrive as tuples on the pipe:
 
     * ``("ping",)`` — liveness check;
-    * ``("read", offset, lookup)`` — catch up to the pinned offset and ship
-      the shard's read state (arrays as shared-memory handles);
+    * ``("read", offset, lookup, base)`` — catch up to the pinned offset
+      and ship the shard's read state (arrays as shared-memory handles):
+      a delta against ``base`` when the handshake matches, full otherwise;
     * ``("stats", offset)`` — catch up and return small counters;
     * ``("stop",)`` — clean up and exit.
 
@@ -564,14 +564,24 @@ def shard_worker_main(
                         continue  # injected wedge: swallow the ping
                     connection.send(("ok", {"shard": shard, "offset": replica.offset}))
                 elif name == "read":
-                    _, offset, lookup = command
+                    _, offset, lookup, base = command
                     replica.catch_up(int(offset))
-                    state = replica.read_state(lookup)
+                    state = replica.read_state(lookup, base=base)
                     handles = {
                         key: exports.export(key, array)
                         for key, array in state["arrays"].items()
                     }
-                    connection.send(("ok", {"handles": handles, "meta": state["meta"]}))
+                    connection.send(
+                        (
+                            "ok",
+                            {
+                                "kind": state["kind"],
+                                "handles": handles,
+                                "meta": state["meta"],
+                                "retired": exports.drain_retired(),
+                            },
+                        )
+                    )
                 elif name == "stats":
                     _, offset = command
                     replica.catch_up(int(offset))
@@ -729,17 +739,34 @@ class ShardWorkerHandle:
 
         The copy is required: the worker reuses its export slots on the
         next request, so the attached views are only valid until then.
+        After copying, this process's cached attachments are dropped —
+        both the slots just read and any segment the worker retired when a
+        slot outgrew its capacity — so the attach cache cannot accumulate
+        mappings of unlinked segments across reads (the leak regression
+        test in ``tests/serve/test_delta_shipping.py`` pins this down).
         """
-        arrays = {
-            key: np.array(attach_view(handle), copy=True)
-            for key, handle in payload["handles"].items()
+        arrays = {}
+        try:
+            for key, handle in payload["handles"].items():
+                arrays[key] = np.array(attach_view(handle), copy=True)
+        finally:
+            for handle in payload["handles"].values():
+                detach_view(handle.name)
+            for name in payload.get("retired", ()):
+                detach_view(name)
+        return {
+            "kind": payload.get("kind", "full"),
+            "arrays": arrays,
+            "meta": payload["meta"],
         }
-        return {"arrays": arrays, "meta": payload["meta"]}
 
     def read_state(
-        self, offset: int, lookup: Optional[Tuple[int, str]] = None
+        self,
+        offset: int,
+        lookup: Optional[Tuple[int, str]] = None,
+        base: Optional[Dict[str, Any]] = None,
     ) -> Dict[str, Any]:
-        return self.materialize(self.request(("read", int(offset), lookup)))
+        return self.materialize(self.request(("read", int(offset), lookup, base)))
 
     def stop(self, timeout: float = 5.0) -> None:
         """Ask the worker to exit; escalate to terminate if it does not."""

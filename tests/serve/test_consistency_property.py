@@ -15,6 +15,7 @@ import shutil
 import tempfile
 from pathlib import Path
 
+import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -23,7 +24,12 @@ from conftest import make_frozen_model, reference_retained
 from repro.datamodel import make_profile
 from repro.incremental import MatchingSession
 from repro.persistence.recovery import recover_session
-from repro.serve.router import build_pinned_view, match_answer
+from repro.serve.router import (
+    ShardStateStub,
+    build_pinned_view,
+    match_answer,
+    merged_stub_view,
+)
 from repro.serve.workers import ShardReplica, WalFollowError
 
 _TOKENS = ("alpha", "beta", "gamma", "delta", "eps", "zeta")
@@ -105,6 +111,125 @@ def test_every_pinned_offset_equals_canonical(operations, num_shards):
                 assert answer["retained"] == reference
         finally:
             for replica in replicas:
+                replica.close()
+    finally:
+        session.close()
+        shutil.rmtree(tmp, ignore_errors=True)
+
+
+_STUB_ARRAYS = (
+    "_sides",
+    "_indptr",
+    "_indices",
+    "_block_cardinalities",
+    "_inverse_block_cardinalities",
+    "_inverse_block_sizes",
+    "_blocks_per_entity",
+    "_entity_cardinality",
+    "_entity_inv_cardinality",
+    "_entity_inv_size",
+    "_pair_left",
+    "_pair_right",
+    "_pair_alive",
+)
+
+
+def _assert_stub_identical(actual: ShardStateStub, oracle: ShardStateStub):
+    """The delta-maintained stub must hold the same arrays as a rebuilt one."""
+    for attribute in _STUB_ARRAYS:
+        np.testing.assert_array_equal(
+            getattr(actual, attribute).view(),
+            getattr(oracle, attribute).view(),
+            err_msg=attribute,
+        )
+    assert actual._block_keys == oracle._block_keys
+    assert actual._side_counts == oracle._side_counts
+    assert actual.num_blocks == oracle.num_blocks
+    assert actual.num_nonempty_blocks == oracle.num_nonempty_blocks
+    assert actual.total_cardinality == oracle.total_cardinality
+    assert actual._num_live == oracle._num_live
+    # member lists only matter (and are only re-shipped) for blocks that
+    # still spawn comparisons; the delta stub may retain stale entries for
+    # blocks that stopped spawning, which every reader filters out
+    spawning = np.flatnonzero(oracle._block_cardinalities.view() > 0).tolist()
+    for block_id in spawning:
+        for position in (0, 1):
+            np.testing.assert_array_equal(
+                actual._members[block_id][position],
+                oracle._members[block_id][position],
+                err_msg=f"members of block {block_id} side {position}",
+            )
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    operations=_operations(),
+    num_shards=st.sampled_from((1, 2, 3)),
+    respawn_at=st.integers(0, 64),
+)
+def test_resident_delta_view_equals_rebuild(operations, num_shards, respawn_at):
+    """The delta-maintained resident view is *identical* — same arrays, same
+    answers — to a from-scratch rebuild at every pinned offset, including
+    across a forced replica respawn mid-stream (which must full-re-ship)."""
+    tmp = Path(tempfile.mkdtemp())
+    session = MatchingSession(MODEL, bilateral=True, wal_path=tmp)
+    try:
+        pinned = [(session.wal.log_offset, reference_retained(session))]
+        for _ in _stream(session, operations):
+            pinned.append((session.wal.log_offset, reference_retained(session)))
+        resident = [
+            ShardReplica(tmp, shard, num_shards) for shard in range(num_shards)
+        ]
+        oracles = [
+            ShardReplica(tmp, shard, num_shards) for shard in range(num_shards)
+        ]
+        stubs = [None] * num_shards
+        bases = [None] * num_shards
+        respawn_pin = respawn_at % len(pinned)
+        respawn_shard = respawn_at % num_shards
+        try:
+            for pin, (offset, reference) in enumerate(pinned):
+                respawned = pin == respawn_pin and pin > 0
+                if respawned:
+                    # a fresh replica process: new lineage, no shipped base —
+                    # the router-side stub and base survive the swap, and the
+                    # lineage mismatch must force a full re-ship
+                    resident[respawn_shard].close()
+                    resident[respawn_shard] = ShardReplica(
+                        tmp, respawn_shard, num_shards
+                    )
+                for shard in range(num_shards):
+                    resident[shard].catch_up(offset)
+                    state = resident[shard].read_state(base=bases[shard])
+                    meta = state["meta"]
+                    if pin == 0 or (respawned and shard == respawn_shard):
+                        assert state["kind"] == "full"
+                    else:
+                        assert state["kind"] == "delta"
+                    if state["kind"] == "full":
+                        stub = ShardStateStub(session.index.entity_id)
+                        stub.apply_full(state["arrays"], meta)
+                        stubs[shard] = stub
+                    else:
+                        assert meta["lineage"] == bases[shard]["lineage"]
+                        assert int(meta["base_epoch"]) == bases[shard]["epoch"]
+                        stubs[shard].apply_delta(state["arrays"], meta)
+                    bases[shard] = {
+                        "lineage": meta["lineage"],
+                        "epoch": int(meta["epoch"]),
+                    }
+                for oracle in oracles:
+                    oracle.catch_up(offset)
+                oracle_view = build_pinned_view(
+                    [oracle.read_state() for oracle in oracles],
+                    session.index.entity_id,
+                )
+                for shard in range(num_shards):
+                    _assert_stub_identical(stubs[shard], oracle_view.shards[shard])
+                answer = match_answer(merged_stub_view(stubs), MODEL, session.pruning)
+                assert answer["retained"] == reference
+        finally:
+            for replica in resident + oracles:
                 replica.close()
     finally:
         session.close()

@@ -1,0 +1,226 @@
+"""Delta-shipped reads: protocol units, the leak regression and the router.
+
+Covers the three layers of the delta read path separately from the
+consistency property suite:
+
+* :class:`ExportSlots` frees superseded shared-memory segments eagerly and
+  reports their names, and the parent's attach cache never accumulates
+  mappings across repeated reads (the ExportSlots leak regression);
+* :meth:`MutableBlockIndex.export_delta` is all-or-nothing: stale or
+  consumed epochs, compaction and untracked indexes all refuse to ship a
+  delta (forcing a full ship) instead of shipping a wrong one;
+* :class:`ShardRouter` keeps resident per-shard views, ships deltas on warm
+  reads, full states on first contact and after a respawn, and records the
+  byte/read counters the stats panel renders.
+"""
+
+from multiprocessing import shared_memory
+
+import numpy as np
+import pytest
+
+from conftest import make_frozen_model, reference_retained
+from repro.datamodel import make_profile
+from repro.incremental import MatchingSession
+from repro.incremental.index import MutableBlockIndex
+from repro.incremental.sharded import ShardedMutableBlockIndex
+from repro.parallel import shm
+from repro.serve.metrics import ServerMetrics, render_stats
+from repro.serve.router import ShardRouter, match_answer
+from repro.serve.workers import ExportSlots, ShardWorkerHandle
+
+MODEL = make_frozen_model()
+
+
+class TestExportSlots:
+    def test_grown_slot_retires_and_unlinks_the_old_segment(self):
+        slots = ExportSlots()
+        try:
+            first = slots.export("x", np.arange(4, dtype=np.int64))
+            # fits in the slack capacity: same segment, nothing retired
+            same = slots.export("x", np.arange(8, dtype=np.int64))
+            assert same.name == first.name
+            assert slots.drain_retired() == []
+            grown = slots.export("x", np.arange(64, dtype=np.int64))
+            assert grown.name != first.name
+            assert slots.drain_retired() == [first.name]
+            assert slots.drain_retired() == []
+            with pytest.raises(FileNotFoundError):
+                shared_memory.SharedMemory(name=first.name)
+        finally:
+            slots.close()
+
+    def test_dtype_change_also_retires(self):
+        slots = ExportSlots()
+        try:
+            first = slots.export("x", np.arange(4, dtype=np.int64))
+            slots.export("x", np.arange(4, dtype=np.float64))
+            assert slots.drain_retired() == [first.name]
+        finally:
+            slots.close()
+
+
+class TestAttachCacheLeak:
+    def test_parent_attach_cache_is_empty_after_reads(self, tmp_path):
+        """Repeated reads — including ones that grow the export slots — must
+        leave no cached attachments behind in the parent process."""
+        session = MatchingSession(MODEL, bilateral=True, wal_path=tmp_path)
+        handle = None
+        before = set(shm._ATTACHED)
+        try:
+            session.insert(make_profile("a0", text="alpha beta"), side=0)
+            session.insert(make_profile("b0", text="alpha beta"), side=1)
+            handle = ShardWorkerHandle(tmp_path, 0, 1)
+            handle.read_state(session.wal.log_offset)
+            # grow every array far past the first export's capacity so the
+            # worker retires segments mid-stream
+            for serial in range(1, 40):
+                session.insert(
+                    make_profile(f"a{serial}", text=f"alpha tok{serial}"), side=0
+                )
+            handle.read_state(session.wal.log_offset)
+            handle.read_state(session.wal.log_offset)
+            assert set(shm._ATTACHED) == before
+        finally:
+            if handle is not None:
+                handle.stop()
+            session.close()
+
+
+class TestExportDeltaContract:
+    def _index(self):
+        index = MutableBlockIndex(bilateral=True, name="unit")
+        index._apply_insert("a0", 0, ["alpha", "beta"])
+        index._apply_insert("b0", 1, ["alpha"])
+        return index
+
+    def test_untracked_index_refuses_to_ship(self):
+        index = self._index()
+        assert index.export_delta(index.epoch) is None
+
+    def test_stale_epoch_refuses_to_ship(self):
+        index = self._index()
+        epoch = index.enable_delta_tracking()
+        assert index.export_delta(epoch - 1) is None
+        assert index.export_delta(epoch + 1) is None
+
+    def test_consumed_epoch_refuses_to_ship(self):
+        index = self._index()
+        epoch = index.enable_delta_tracking()
+        index._apply_insert("a1", 0, ["beta"])
+        delta = index.export_delta(epoch)
+        assert delta is not None and delta["meta"]["kind"] == "delta"
+        # the export rebased the tracker: the old epoch is consumed, only
+        # the new one ships
+        assert index.export_delta(epoch) is None
+        assert index.export_delta(delta["meta"]["epoch"]) is not None
+
+    def test_compaction_clears_the_tracker(self):
+        index = self._index()
+        index.enable_delta_tracking()
+        index._apply_insert("a1", 0, ["beta"])
+        index.remove_entity("a0", side=0)
+        index.compact()
+        # compaction renumbered nodes: any delta against the old base would
+        # be wrong, so the tracker is gone and a full ship is forced
+        assert index.export_delta(index.epoch) is None
+
+    def test_sharded_export_is_all_or_nothing(self):
+        index = ShardedMutableBlockIndex(bilateral=True, num_shards=2, name="unit")
+        index.add_entity(make_profile("a0", text="alpha beta"), side=0)
+        index.add_entity(make_profile("b0", text="alpha"), side=1)
+        with pytest.raises(ValueError, match="epoch"):
+            index.export_deltas([0])
+        assert index.export_deltas(index.epochs()) is None  # not tracking yet
+        epochs = index.enable_delta_tracking()
+        index.add_entity(make_profile("a1", text="beta"), side=0)
+        stale = [epochs[0] - 1] + epochs[1:]
+        # one stale shard poisons the whole export — and must not rebase
+        # the healthy shards' trackers as a side effect
+        assert index.export_deltas(stale) is None
+        deltas = index.export_deltas(epochs)
+        assert deltas is not None and len(deltas) == 2
+
+
+class TestRouterResidentViews:
+    def _counters(self, metrics):
+        return metrics.snapshot()["counters"]
+
+    def test_warm_reads_ship_deltas_and_respawn_reships_full(self, tmp_path):
+        session = MatchingSession(MODEL, bilateral=True, wal_path=tmp_path)
+        metrics = ServerMetrics()
+        router = ShardRouter(
+            tmp_path, 2, session.index.entity_id, metrics=metrics
+        )
+        try:
+            for serial, text in enumerate(
+                ("alpha beta", "beta gamma", "alpha gamma")
+            ):
+                session.insert(make_profile(f"a{serial}", text=text), side=0)
+                session.insert(make_profile(f"b{serial}", text=text), side=1)
+            router.start()
+
+            view, _ = router.pinned_view(session.wal.log_offset)
+            counters = self._counters(metrics)
+            assert counters["full_reads"] == 2
+            assert counters.get("delta_reads", 0) == 0
+            reference = reference_retained(session)
+            assert match_answer(view, MODEL, session.pruning)["retained"] == reference
+
+            session.insert(make_profile("a9", text="beta gamma"), side=0)
+            view, _ = router.pinned_view(session.wal.log_offset)
+            counters = self._counters(metrics)
+            assert counters["full_reads"] == 2
+            assert counters["delta_reads"] == 2
+            assert counters["read_bytes_delta"] < counters["read_bytes_full"]
+            assert counters["read_bytes_shipped"] == (
+                counters["read_bytes_full"] + counters["read_bytes_delta"]
+            )
+            reference = reference_retained(session)
+            assert match_answer(view, MODEL, session.pruning)["retained"] == reference
+
+            # a respawned worker holds no shipped base: its shard must ship
+            # full again while the untouched shard keeps shipping deltas
+            assert router.respawn(0) is not None
+            view, _ = router.pinned_view(session.wal.log_offset)
+            counters = self._counters(metrics)
+            assert counters["full_reads"] == 3
+            assert counters["delta_reads"] == 3
+            assert match_answer(view, MODEL, session.pruning)["retained"] == reference
+        finally:
+            router.stop()
+            session.close()
+
+    def test_delta_shipping_off_ships_full_every_read(self, tmp_path):
+        session = MatchingSession(MODEL, bilateral=True, wal_path=tmp_path)
+        metrics = ServerMetrics()
+        router = ShardRouter(
+            tmp_path,
+            2,
+            session.index.entity_id,
+            metrics=metrics,
+            delta_shipping=False,
+        )
+        try:
+            session.insert(make_profile("a0", text="alpha beta"), side=0)
+            session.insert(make_profile("b0", text="alpha beta"), side=1)
+            router.start()
+            router.pinned_view(session.wal.log_offset)
+            router.pinned_view(session.wal.log_offset)
+            counters = self._counters(metrics)
+            assert counters["full_reads"] == 4
+            assert counters.get("delta_reads", 0) == 0
+        finally:
+            router.stop()
+            session.close()
+
+    def test_render_stats_shows_the_shipping_panel(self):
+        metrics = ServerMetrics()
+        metrics.increment("full_reads", 2)
+        metrics.increment("delta_reads", 6)
+        metrics.increment("read_bytes_shipped", 1000)
+        metrics.increment("read_bytes_full", 900)
+        metrics.increment("read_bytes_delta", 100)
+        rendered = render_stats({"metrics": metrics.snapshot()})
+        assert "read shipping: 6 delta / 2 full (75.0% delta hit rate)" in rendered
+        assert "1000 bytes shipped (100 delta, 900 full)" in rendered
