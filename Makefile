@@ -12,13 +12,14 @@
 #   make bench-serve       - serving bench (ingest rate, match tails, recovery)
 #   make bench-delta       - delta-shipping bench (per-read bytes, snapshot vs delta)
 #   make bench-faults      - fault-recovery bench (worker MTTR, availability)
+#   make bench-obs         - observability overhead bench (tracing+events on vs off)
 #   make test-chaos        - seeded chaos suite (kill-loop against the daemon)
 #   make bench             - the full pytest-benchmark harness
 
 PYTHON ?= python
 PYTEST  = PYTHONPATH=src $(PYTHON) -m pytest
 
-.PHONY: test test-equivalence test-fast test-chaos bench-smoke bench-stream bench-churn bench-blocking bench-parallel bench-wal bench-serve bench-delta bench-faults bench
+.PHONY: test test-equivalence test-fast test-chaos bench-smoke bench-stream bench-churn bench-blocking bench-parallel bench-wal bench-serve bench-delta bench-faults bench-obs bench
 
 test:
 	$(PYTEST) -x -q
@@ -55,6 +56,9 @@ bench-delta:
 
 bench-faults:
 	$(PYTEST) -q benchmarks/bench_fault_recovery.py
+
+bench-obs:
+	$(PYTEST) -q benchmarks/bench_obs_overhead.py
 
 test-chaos:
 	$(PYTEST) -q -m chaos tests/faults/

@@ -96,7 +96,7 @@ from .weights import (
     RCNP_FEATURE_SET,
 )
 
-__version__ = "1.6.0"
+__version__ = "1.7.0"
 
 __all__ = [
     "BLAST_FEATURE_SET",

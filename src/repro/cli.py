@@ -9,6 +9,7 @@ Usage::
     python -m repro stream --dataset DblpAcm   # incremental streaming session
     python -m repro serve --wal /tmp/wal       # persistent matching daemon
     python -m repro client stats --port 9876   # query a running daemon
+    python -m repro trace --log /tmp/events    # inspect an event log
 
 Every ``run`` command prints the same rows/series the paper reports for that
 experiment (the benches in ``benchmarks/`` are the pytest-integrated variant
@@ -396,6 +397,9 @@ def _run_serve(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int
             hang_timeout=args.hang_timeout,
             max_pending_mutations=args.max_pending,
             max_pending_reads=args.max_pending,
+            event_log=args.event_log,
+            slow_request_ms=args.slow_ms,
+            tracing=(args.tracing == "on"),
         )
     except (FileNotFoundError, ValueError) as error:
         parser.error(f"cannot start the daemon: {error}")
@@ -426,6 +430,8 @@ def _run_client(args: argparse.Namespace, parser: argparse.ArgumentParser) -> in
             print(json.dumps(client.ping(), sort_keys=True))
         elif action == "stats":
             print(render_stats(client.stats()))
+        elif action == "metrics":
+            print(client.metrics()["text"], end="")
         elif action == "match":
             answer = client.match()
             retained = answer["retained"]
@@ -490,6 +496,55 @@ def _run_client(args: argparse.Namespace, parser: argparse.ArgumentParser) -> in
         return 1
     finally:
         client.close()
+    return 0
+
+
+def _run_trace(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
+    """Inspect a structured event log (``repro trace``)."""
+    import os
+
+    from .obs import (
+        EVENT_LOG_ENV,
+        read_events,
+        render_event,
+        render_event_summary,
+        render_span_tree,
+        summarize_events,
+    )
+
+    directory = args.log or os.environ.get(EVENT_LOG_ENV)
+    if not directory:
+        parser.error(
+            "no event log: pass --log DIR or set the REPRO_EVENT_LOG "
+            "environment variable"
+        )
+    events = read_events(directory)
+    if not events:
+        print(f"no events under {directory}")
+        return 0
+    if args.id is not None:
+        matched = [event for event in events if event.get("trace") == args.id]
+        if not matched:
+            print(f"no events for trace {args.id!r} under {directory}", file=sys.stderr)
+            return 1
+        for event in matched:
+            print(render_event(event))
+            if event.get("spans"):
+                print(render_span_tree(event["spans"]))
+        return 0
+    if args.slow is not None:
+        requests = [event for event in events if event.get("type") == "request"]
+        requests.sort(key=lambda event: -float(event.get("duration_ms", 0.0)))
+        for event in requests[: max(0, args.slow)]:
+            print(render_event(event))
+            if event.get("spans"):
+                print(render_span_tree(event["spans"]))
+        return 0
+    if args.tail is not None:
+        for event in events[-max(0, args.tail):]:
+            print(render_event(event))
+        return 0
+    print(render_event_summary(summarize_events(events)))
     return 0
 
 
@@ -730,6 +785,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="bound on each dispatch queue; excess requests are shed with "
         "a typed 'overloaded' error",
     )
+    serve_parser.add_argument(
+        "--event-log", default=None, dest="event_log", metavar="DIR",
+        help="write the structured JSON-lines event log (requests, WAL, "
+        "supervision, faults) to DIR; defaults to $REPRO_EVENT_LOG; shard "
+        "workers inherit the sink",
+    )
+    serve_parser.add_argument(
+        "--tracing", default="on", choices=("on", "off"),
+        help="record per-request span trees (asyncio loop, dispatch "
+        "threads, WAL, shard fan-out) and attach them to request events",
+    )
+    serve_parser.add_argument(
+        "--slow-ms", type=float, default=None, dest="slow_ms", metavar="MS",
+        help="also journal a slow_request event for any request at or "
+        "above this many milliseconds",
+    )
 
     client_parser = subparsers.add_parser(
         "client",
@@ -738,7 +809,7 @@ def build_parser() -> argparse.ArgumentParser:
     client_parser.add_argument(
         "action",
         choices=(
-            "ping", "stats", "match", "top-k", "insert", "remove",
+            "ping", "stats", "metrics", "match", "top-k", "insert", "remove",
             "checkpoint", "shutdown",
         ),
     )
@@ -778,6 +849,30 @@ def build_parser() -> argparse.ArgumentParser:
         "--limit", type=int, default=20,
         help="retained pairs printed by 'match'",
     )
+
+    trace_parser = subparsers.add_parser(
+        "trace",
+        help="inspect a structured event log (repro.obs): render one "
+        "request's span tree by trace id, tail recent events, or "
+        "summarize the log",
+    )
+    trace_parser.add_argument(
+        "id", nargs="?", default=None,
+        help="trace id to render (the 'trace' field of responses and "
+        "event records)",
+    )
+    trace_parser.add_argument(
+        "--log", default=None, metavar="DIR",
+        help="event-log directory (defaults to $REPRO_EVENT_LOG)",
+    )
+    trace_parser.add_argument(
+        "--tail", type=int, default=None, metavar="N",
+        help="print the last N events, merged across processes",
+    )
+    trace_parser.add_argument(
+        "--slow", type=int, default=None, metavar="N",
+        help="print the N slowest requests with their span trees",
+    )
     return parser
 
 
@@ -815,6 +910,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _run_serve(args, parser)
     if args.command == "client":
         return _run_client(args, parser)
+    if args.command == "trace":
+        return _run_trace(args, parser)
     if args.command == "run":
         print(EXPERIMENTS[args.experiment](args))
         return 0

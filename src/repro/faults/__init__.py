@@ -29,6 +29,21 @@ from typing import Dict, Optional
 
 from .plan import FAULTS_ENV, FaultPlan, plan_from_env
 
+
+def _emit_fault(kind: str, **fields) -> None:
+    """Record the injection in the structured event log (best-effort).
+
+    Emitted — and flushed, :func:`repro.obs.events.emit` flushes per
+    line — *before* the fault fires, so even a SIGKILL fault leaves its
+    own event on disk for the causal chain.
+    """
+    try:
+        from ..obs import events
+
+        events.emit("fault_injected", kind=kind, shard=_scope_shard, **fields)
+    except Exception:  # noqa: BLE001 - observability must not alter the fault
+        pass
+
 __all__ = [
     "FAULTS_ENV",
     "FaultPlan",
@@ -137,8 +152,10 @@ def on_wal_append() -> Optional[str]:
     _maybe_slow(plan)
     ordinal = _count("append")
     if ordinal in plan.torn_append:
+        _emit_fault("torn_append", ordinal=ordinal)
         return "torn"
     if ordinal in plan.corrupt_append:
+        _emit_fault("corrupt_append", ordinal=ordinal)
         return "corrupt"
     return None
 
@@ -148,7 +165,9 @@ def on_wal_fsync() -> None:
     plan = active_plan()
     if plan is None:
         return
-    if _count("fsync") in plan.fsync_error:
+    ordinal = _count("fsync")
+    if ordinal in plan.fsync_error:
+        _emit_fault("fsync_error", ordinal=ordinal)
         raise InjectedFaultError("injected fsync failure")
 
 
@@ -172,6 +191,8 @@ def on_record_applied() -> None:
     if nth is not None and _count("applied") == nth:
         import signal
 
+        # flushed before the kill: the event log must witness its own cause
+        _emit_fault("kill_worker", ordinal=nth)
         os.kill(os.getpid(), signal.SIGKILL)
 
 
@@ -181,4 +202,7 @@ def on_heartbeat() -> bool:
     if plan is None or _scope_shard is None:
         return False
     budget = plan.drop_heartbeats.get(_scope_shard, 0)
-    return budget > 0 and _count("heartbeat") <= budget
+    dropped = budget > 0 and _count("heartbeat") <= budget
+    if dropped:
+        _emit_fault("drop_heartbeat")
+    return dropped

@@ -295,6 +295,13 @@ class ParallelExecutor:
                 suspicious = True
                 crash_deadline = time.monotonic() + self._crash_grace
             if suspicious and time.monotonic() > crash_deadline:
+                from ..obs import events
+
+                events.emit(
+                    "worker_crash",
+                    pool="parallel-executor",
+                    lost_tasks=sorted(outstanding),
+                )
                 raise WorkerCrashError(
                     "a pool worker died with tasks in flight "
                     f"(tasks {sorted(outstanding)} never completed)",

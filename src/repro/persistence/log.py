@@ -40,6 +40,8 @@ from pathlib import Path
 from typing import Any, Dict, List, Optional, Union
 
 from .. import faults
+from ..obs import events
+from ..obs.trace import hook_span
 
 #: first bytes of every log file; a file not starting with it is not a WAL
 LOG_MAGIC = b"RPROWAL1"
@@ -154,8 +156,10 @@ class WriteAheadLog:
                 handle.truncate(len(LOG_MAGIC))
                 size = len(LOG_MAGIC)
             if truncate_at is not None and truncate_at < size:
+                dropped = size - max(truncate_at, len(LOG_MAGIC))
                 size = max(truncate_at, len(LOG_MAGIC))
                 handle.truncate(size)
+                events.emit("wal_truncated", offset=size, dropped_bytes=dropped)
             handle.seek(0, os.SEEK_END)
             handle.flush()
             os.fsync(handle.fileno())
@@ -213,15 +217,19 @@ class WriteAheadLog:
         if damage is not None:
             self._inject_tail_damage(blob, damage)
         try:
-            self._file.write(blob)
-            self._file.flush()
-            if self.sync_mode == "always":
-                faults.on_wal_fsync()
-                os.fsync(self._file.fileno())
+            # attributed to the active request trace, when one is active on
+            # this thread (the daemon's mutation thread activates it)
+            with hook_span("wal-append", bytes=len(blob)):
+                self._file.write(blob)
+                self._file.flush()
+                if self.sync_mode == "always":
+                    faults.on_wal_fsync()
+                    os.fsync(self._file.fileno())
         except OSError:
             self._undo_partial_append()
             raise
         self._offset += len(blob)
+        events.emit("wal_append", offset=self._offset, bytes=len(blob))
         return self._offset
 
     def _inject_tail_damage(self, blob: bytes, damage: str) -> None:
@@ -235,6 +243,7 @@ class WriteAheadLog:
         self._file.write(bad)
         self._file.flush()
         self._broken = True
+        events.emit("wal_broken", cause=f"injected {damage} tail", offset=self._offset)
         raise faults.InjectedFaultError(f"injected {damage} WAL tail")
 
     def _undo_partial_append(self) -> None:
@@ -252,6 +261,10 @@ class WriteAheadLog:
             self._file.seek(0, os.SEEK_END)
         except OSError:
             self._broken = True
+            events.emit(
+                "wal_broken", cause="undo of a partial append failed",
+                offset=self._offset,
+            )
 
     def sync(self) -> None:
         """Flush and fsync pending appends (a no-op when nothing is open)."""
@@ -344,12 +357,19 @@ class WriteAheadLog:
         )
         final = self.path / f"snapshot-{sequence:06d}.snap"
         temporary = self.path / f"snapshot-{sequence:06d}.tmp"
-        with open(temporary, "wb") as handle:
-            handle.write(blob)
-            handle.flush()
-            os.fsync(handle.fileno())
-        os.replace(temporary, final)
-        self._fsync_directory()
+        with hook_span("wal-snapshot", sequence=sequence, bytes=len(blob)):
+            with open(temporary, "wb") as handle:
+                handle.write(blob)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(temporary, final)
+            self._fsync_directory()
+        events.emit(
+            "wal_snapshot",
+            sequence=sequence,
+            bytes=len(blob),
+            log_offset=int(state.get("log_offset", -1)),
+        )
         return final
 
     @staticmethod

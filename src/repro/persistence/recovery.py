@@ -30,6 +30,7 @@ from __future__ import annotations
 from pathlib import Path
 from typing import Any, Dict, Optional, Tuple, Union
 
+from ..obs import events
 from .log import WalScan, WriteAheadLog
 from .snapshot import build_index_from_state, construct_index
 
@@ -111,9 +112,19 @@ def recover_index(
     scan = wal.scan()
     snapshot = wal.latest_snapshot()
     index, start = _base_state(scan, snapshot, blocking, executor)
+    replayed = 0
     for entry in scan.records:
         if entry.start >= start:
             apply_logged_record(index, entry.record)
+            replayed += 1
+    events.emit(
+        "wal_recovery",
+        kind="index",
+        snapshot="present" if snapshot is not None else "absent",
+        replayed_records=replayed,
+        truncated_tail=bool(scan.truncated),
+        offset=int(scan.valid_length),
+    )
     if resume:
         wal.open(truncate_at=scan.valid_length)
         index.attach_wal(wal)
@@ -162,9 +173,19 @@ def recover_session(path: Union[str, Path], sync: str = "always"):
         lambda key: int(np.searchsorted(pair_keys, int(key))),
     )
     start = int(snapshot["log_offset"])
+    replayed = 0
     for entry in scan.records:
         if entry.start >= start:
             session._replay_record(entry.record)
+            replayed += 1
+    events.emit(
+        "wal_recovery",
+        kind="session",
+        snapshot="present",
+        replayed_records=replayed,
+        truncated_tail=bool(scan.truncated),
+        offset=int(scan.valid_length),
+    )
     wal.open(truncate_at=scan.valid_length)
     index.attach_wal(wal)
     session.wal = wal

@@ -22,7 +22,9 @@ Modules
 ``client``
     :class:`ServeClient` — the blocking stdlib client.
 ``metrics``
-    Latency histograms, gauges and the ``stats`` rendering.
+    Latency histograms, gauges and the ``stats`` rendering (backed by the
+    unified :class:`repro.obs.MetricsRegistry`; the ``metrics`` protocol op
+    exposes the same registry in Prometheus text exposition).
 ``supervision``
     :class:`WorkerSupervisor` — heartbeat, hang detection, respawn with
     checkpoint adoption.
@@ -36,7 +38,7 @@ from .daemon import (
     UnavailableError,
     WalFailedError,
 )
-from .metrics import LatencyHistogram, ServerMetrics, render_stats
+from .metrics import LatencyHistogram, ServerMetrics, render_prometheus, render_stats
 from .protocol import (
     ERROR_DEADLINE,
     ERROR_OVERLOADED,
@@ -77,6 +79,7 @@ __all__ = [
     "WorkerSupervisor",
     "LatencyHistogram",
     "ServerMetrics",
+    "render_prometheus",
     "render_stats",
     "ERROR_DEADLINE",
     "ERROR_OVERLOADED",

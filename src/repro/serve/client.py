@@ -33,6 +33,7 @@ import time
 from typing import Any, Dict, List, Optional, Sequence, Union
 
 from ..datamodel import EntityProfile
+from ..obs.trace import mint_trace_id
 from .protocol import (
     ERROR_OVERLOADED,
     IDEMPOTENT_OPS,
@@ -106,6 +107,9 @@ class ServeClient:
         self._socket: Optional[socket.socket] = None
         self._stream = None
         self._next_id = 0
+        #: trace id of the most recent request (minted client-side, echoed
+        #: by the daemon) — join key into the server's event log
+        self.last_trace_id: Optional[str] = None
         self._connect()
 
     # -- lifecycle ---------------------------------------------------------------
@@ -157,7 +161,9 @@ class ServeClient:
         time.sleep(nominal * (0.5 + self._rng.random()))
 
     # -- transport ---------------------------------------------------------------
-    def _exchange(self, op: str, args: Dict[str, Any]) -> Any:
+    def _exchange(
+        self, op: str, args: Dict[str, Any], trace_id: Optional[str] = None
+    ) -> Any:
         """One request/response on the current connection.
 
         Transport failures raise with ``sent`` encoded by re-raising as a
@@ -168,6 +174,8 @@ class ServeClient:
         self._next_id += 1
         request_id = self._next_id
         message: Dict[str, Any] = {"op": op, "id": request_id, "args": args}
+        if trace_id is not None:
+            message["trace"] = trace_id
         if self.deadline_ms is not None:
             message["deadline_ms"] = self.deadline_ms
         sent = False
@@ -201,10 +209,15 @@ class ServeClient:
     def call(self, op: str, **args: Any) -> Any:
         """Send one request; retry per the idempotency rules; return the
         result or raise :class:`ServeError`."""
+        # one trace id per logical call: retried attempts of the same
+        # request share it, so the server's event log shows them as one
+        # causal story rather than unrelated requests
+        trace_id = mint_trace_id()
+        self.last_trace_id = trace_id
         attempt = 0
         while True:
             try:
-                return self._exchange(op, args)
+                return self._exchange(op, args, trace_id)
             except ServeError as error:
                 # the daemon processed (or explicitly shed) the request —
                 # only an OVERLOADED shed is retryable, and it is
@@ -261,6 +274,15 @@ class ServeClient:
 
     def stats(self) -> Dict[str, Any]:
         return self.call("stats")
+
+    def metrics(self) -> Dict[str, Any]:
+        """The unified metrics registry in Prometheus text exposition.
+
+        Returns ``{"content_type": ..., "text": ...}`` — ``text`` is the
+        scrape body (``repro_request_duration_seconds`` histograms, event
+        counters, queue-depth and process gauges).
+        """
+        return self.call("metrics")
 
     def shutdown(self) -> Dict[str, Any]:
         """Ask the daemon to drain, checkpoint and exit."""

@@ -33,15 +33,18 @@ import os
 import signal
 import threading
 import time
-import traceback
 from concurrent.futures import ThreadPoolExecutor
+from contextlib import nullcontext
 from typing import Any, Dict, Optional, Tuple
 
 from .. import __version__
 from ..incremental.index import DuplicateEntityError, UnknownEntityError
 from ..incremental.session import MatchingSession
+from ..obs import events
+from ..obs.registry import process_rss_bytes
+from ..obs.trace import RequestTrace, activate, hook_span, mint_trace_id
 from ..persistence.log import WalBrokenError
-from .metrics import ServerMetrics
+from .metrics import ServerMetrics, render_prometheus
 from .protocol import (
     ERROR_DEADLINE,
     ERROR_OVERLOADED,
@@ -151,9 +154,24 @@ class MatchingDaemon:
         max_pending_reads: int = 256,
         adopt_min_gap: Optional[int] = None,
         delta_shipping: bool = True,
+        event_log=None,
+        slow_request_ms: Optional[float] = None,
+        tracing: bool = True,
     ) -> None:
         from ..persistence.log import WriteAheadLog
 
+        # the event sink is configured before the session is built, so WAL
+        # recovery/snapshot events land in this daemon's log; an explicit
+        # ``None`` falls back to ``REPRO_EVENT_LOG``, and configuring also
+        # exports (or clears) that variable so shard workers inherit exactly
+        # this daemon's sink, never a previous one's
+        if event_log is None:
+            event_log = os.environ.get(events.EVENT_LOG_ENV) or None
+        events.configure(event_log, role="daemon")
+        self.event_log = event_log
+        self.slow_request_ms = slow_request_ms
+        self.tracing = bool(tracing)
+        self._logger = events.get_logger(__name__)
         allow_from_zero = True
         if recover:
             self.session = MatchingSession.recover(wal_path, sync=wal_sync)
@@ -197,6 +215,10 @@ class MatchingDaemon:
         self.max_pending_reads = max_pending_reads
         self.delta_shipping = delta_shipping
         self.metrics = ServerMetrics()
+        # one serial per applied mutation; the router samples it at pin time
+        # (``serial_source``), which makes per-shard replica lag measurable
+        # in *records* rather than WAL bytes
+        self._mutation_serial = 0
         # entity ids by node come from the authority index's append-only
         # registry: node slots are never reused, so the live resolver is
         # correct for every node visible at any pinned offset
@@ -211,6 +233,8 @@ class MatchingDaemon:
             metrics=self.metrics,
             delta_shipping=delta_shipping,
         )
+        self.router.serial_source = lambda: self._mutation_serial
+        self._register_gauges()
         from ..parallel import ParallelExecutor, resolve_workers
 
         workers = resolve_workers(tokenize_workers)
@@ -228,6 +252,36 @@ class MatchingDaemon:
         # are race-free there, and they bound what run_in_executor enqueues
         self._pending_mutations = 0
         self._pending_reads = 0
+
+    # -- observability -----------------------------------------------------------
+    def _register_gauges(self) -> None:
+        """Process gauges sampled at every ``metrics``/``stats`` snapshot."""
+        self.metrics.register_gauge("process_rss_bytes", process_rss_bytes)
+        self.metrics.register_gauge(
+            "wal_size_bytes", lambda: float(self.session.wal.log_offset)
+        )
+        self.metrics.register_gauge("snapshot_age_seconds", self._snapshot_age)
+        self.metrics.register_gauge(
+            "resident_shm_bytes",
+            lambda: float(sum(self.router.worker_shm_bytes.values())),
+        )
+        for shard in range(self.num_shards):
+            self.metrics.register_gauge(
+                f"shard{shard}_replica_lag_records",
+                lambda shard=shard: float(
+                    max(
+                        0,
+                        self._mutation_serial
+                        - self.router.shipped_serials.get(shard, 0),
+                    )
+                ),
+            )
+
+    def _snapshot_age(self) -> Optional[float]:
+        paths = self.session.wal.snapshot_paths()
+        if not paths:
+            return None
+        return max(0.0, time.time() - paths[-1].stat().st_mtime)
 
     # -- lifecycle ---------------------------------------------------------------
     async def run(self) -> None:
@@ -255,6 +309,12 @@ class MatchingDaemon:
         self.address = server.sockets[0].getsockname()[:2]
         self._install_signal_handlers(loop)
         self.ready.set()
+        events.emit(
+            "daemon_serving",
+            host=self.address[0],
+            port=int(self.address[1]),
+            shards=self.num_shards,
+        )
         if self.announce:
             print(
                 json.dumps(
@@ -284,6 +344,7 @@ class MatchingDaemon:
             if self._executor is not None:
                 self._executor.close()
             self._remove_signal_handlers(loop)
+            events.emit("daemon_stopped")
 
     def serve(self) -> int:
         """Blocking entry point; returns the process exit code."""
@@ -392,20 +453,37 @@ class MatchingDaemon:
         request_id = message.get("id")
         op = message.get("op")
         args = message.get("args") or {}
+        # the trace id is the request's identity across threads, worker
+        # processes and the event log: a client-supplied one is honoured
+        # (v2 envelopes), otherwise the daemon mints one (v1 clients)
+        supplied = message.get("trace")
+        trace_id = (
+            supplied if isinstance(supplied, str) and supplied else mint_trace_id()
+        )
         if op not in OPERATIONS:
-            return error_response(request_id, "protocol", f"unknown op {op!r}")
+            return error_response(
+                request_id, "protocol", f"unknown op {op!r}", trace=trace_id
+            )
         if not isinstance(args, dict):
-            return error_response(request_id, "protocol", "'args' must be an object")
+            return error_response(
+                request_id, "protocol", "'args' must be an object", trace=trace_id
+            )
         deadline_ms = message.get("deadline_ms")
         deadline: Optional[float] = None
         if deadline_ms is not None:
             if not isinstance(deadline_ms, (int, float)) or deadline_ms <= 0:
                 return error_response(
-                    request_id, "bad_request", "'deadline_ms' must be a positive number"
+                    request_id,
+                    "bad_request",
+                    "'deadline_ms' must be a positive number",
+                    trace=trace_id,
                 )
             deadline = time.monotonic() + float(deadline_ms) / 1e3
+        trace = RequestTrace(trace_id, str(op), enabled=self.tracing)
+        events.emit("request_start", trace=trace_id, op=str(op))
         start = time.perf_counter()
         ok = True
+        error_type: Optional[str] = None
         try:
             if op == "ping":
                 result = {
@@ -414,53 +492,120 @@ class MatchingDaemon:
                     "shards": self.num_shards,
                     "offset": self._offset(),
                 }
+            elif op == "metrics":
+                result = {
+                    "content_type": "text/plain; version=0.0.4; charset=utf-8",
+                    "text": render_prometheus(self.metrics),
+                }
             elif op == "shutdown":
                 self._shutdown.set()
                 result = {"stopping": True}
             elif op in MUTATION_OPS:
-                result = await self._run_mutation(op, args, deadline)
+                result = await self._run_mutation(op, args, deadline, trace)
             else:
-                result = await self._run_read(op, args, deadline)
-            return ok_response(request_id, result)
+                result = await self._run_read(op, args, deadline, trace)
+            return ok_response(request_id, result, trace=trace_id)
         except OverloadedError as error:
-            ok = False
+            ok, error_type = False, ERROR_OVERLOADED
             self.metrics.increment(
                 "shed_mutations" if op in MUTATION_OPS else "shed_reads"
             )
-            return error_response(request_id, ERROR_OVERLOADED, str(error))
+            return error_response(request_id, ERROR_OVERLOADED, str(error), trace=trace_id)
         except DeadlineExceededError as error:
-            ok = False
+            ok, error_type = False, ERROR_DEADLINE
             self.metrics.increment("deadline_exceeded")
-            return error_response(request_id, ERROR_DEADLINE, str(error))
+            return error_response(request_id, ERROR_DEADLINE, str(error), trace=trace_id)
         except UnavailableError as error:
-            ok = False
-            return error_response(request_id, ERROR_UNAVAILABLE, str(error))
-        except WalFailedError as error:
-            ok = False
-            self.metrics.increment("wal_failures")
-            return error_response(request_id, ERROR_WAL, str(error))
-        except UnknownEntityError as error:
-            ok = False
-            return error_response(request_id, "unknown_entity", str(error))
-        except DuplicateEntityError as error:
-            ok = False
-            return error_response(request_id, "duplicate_entity", str(error))
-        except (ProtocolError, KeyError, TypeError, ValueError) as error:
-            ok = False
+            ok, error_type = False, ERROR_UNAVAILABLE
             return error_response(
-                request_id, "bad_request", f"{type(error).__name__}: {error}"
+                request_id, ERROR_UNAVAILABLE, str(error), trace=trace_id
+            )
+        except WalFailedError as error:
+            ok, error_type = False, ERROR_WAL
+            self.metrics.increment("wal_failures")
+            return error_response(request_id, ERROR_WAL, str(error), trace=trace_id)
+        except UnknownEntityError as error:
+            ok, error_type = False, "unknown_entity"
+            return error_response(
+                request_id, "unknown_entity", str(error), trace=trace_id
+            )
+        except DuplicateEntityError as error:
+            ok, error_type = False, "duplicate_entity"
+            return error_response(
+                request_id, "duplicate_entity", str(error), trace=trace_id
+            )
+        except (ProtocolError, KeyError, TypeError, ValueError) as error:
+            ok, error_type = False, "bad_request"
+            return error_response(
+                request_id,
+                "bad_request",
+                f"{type(error).__name__}: {error}",
+                trace=trace_id,
             )
         except Exception as error:  # noqa: BLE001 - the daemon must not die
-            ok = False
-            traceback.print_exc()
+            ok, error_type = False, "internal"
+            self._logger.error(
+                "unhandled error serving %s: %s",
+                op,
+                error,
+                exc_info=True,
+                extra={"trace_id": trace_id},
+            )
             return error_response(
-                request_id, "internal", f"{type(error).__name__}: {error}"
+                request_id,
+                "internal",
+                f"{type(error).__name__}: {error}",
+                trace=trace_id,
             )
         finally:
-            self.metrics.record(str(op), time.perf_counter() - start, ok)
+            elapsed = time.perf_counter() - start
+            self.metrics.record(str(op), elapsed, ok)
+            self._finish_request(trace, str(op), ok, error_type, elapsed, deadline)
+
+    def _finish_request(
+        self,
+        trace: RequestTrace,
+        op: str,
+        ok: bool,
+        error_type: Optional[str],
+        elapsed: float,
+        deadline: Optional[float],
+    ) -> None:
+        """Close the request's span tree and journal the finish event."""
+        spans = trace.finish()
+        if events.configured_dir() is None:
+            return
+        duration_ms = round(elapsed * 1e3, 3)
+        fields: Dict[str, Any] = {
+            "trace": trace.trace_id,
+            "op": op,
+            "ok": bool(ok),
+            "duration_ms": duration_ms,
+        }
+        if error_type is not None:
+            fields["error"] = error_type
+        if deadline is not None:
+            fields["deadline_slack_ms"] = round(
+                (deadline - time.monotonic()) * 1e3, 3
+            )
+        if spans is not None:
+            fields["spans"] = spans
+        events.emit("request", **fields)
+        if self.slow_request_ms is not None and duration_ms >= self.slow_request_ms:
+            events.emit(
+                "slow_request",
+                trace=trace.trace_id,
+                op=op,
+                duration_ms=duration_ms,
+                threshold_ms=float(self.slow_request_ms),
+            )
 
     async def _run_mutation(
-        self, op: str, args: Dict[str, Any], deadline: Optional[float] = None
+        self,
+        op: str,
+        args: Dict[str, Any],
+        deadline: Optional[float] = None,
+        trace: Optional[RequestTrace] = None,
     ) -> Any:
         if self._pending_mutations >= self.max_pending_mutations:
             raise OverloadedError(
@@ -469,16 +614,22 @@ class MatchingDaemon:
             )
         self._pending_mutations += 1
         self.metrics.adjust_gauge("mutation_queue_depth", 1)
+        enqueued = time.perf_counter()
         try:
             return await self._loop.run_in_executor(
-                self._mutator, lambda: self._mutate_checked(op, args, deadline)
+                self._mutator,
+                lambda: self._mutate_checked(op, args, deadline, trace, enqueued),
             )
         finally:
             self._pending_mutations -= 1
             self.metrics.adjust_gauge("mutation_queue_depth", -1)
 
     async def _run_read(
-        self, op: str, args: Dict[str, Any], deadline: Optional[float] = None
+        self,
+        op: str,
+        args: Dict[str, Any],
+        deadline: Optional[float] = None,
+        trace: Optional[RequestTrace] = None,
     ) -> Any:
         if self._pending_reads >= self.max_pending_reads:
             raise OverloadedError(
@@ -487,9 +638,11 @@ class MatchingDaemon:
             )
         self._pending_reads += 1
         self.metrics.adjust_gauge("read_queue_depth", 1)
+        enqueued = time.perf_counter()
         try:
             return await self._loop.run_in_executor(
-                self._reader, lambda: self._read_checked(op, args, deadline)
+                self._reader,
+                lambda: self._read_checked(op, args, deadline, trace, enqueued),
             )
         finally:
             self._pending_reads -= 1
@@ -501,42 +654,80 @@ class MatchingDaemon:
             raise DeadlineExceededError("deadline exceeded before the operation ran")
 
     def _mutate_checked(
-        self, op: str, args: Dict[str, Any], deadline: Optional[float]
+        self,
+        op: str,
+        args: Dict[str, Any],
+        deadline: Optional[float],
+        trace: Optional[RequestTrace] = None,
+        enqueued: Optional[float] = None,
     ) -> Any:
+        if trace is not None and enqueued is not None:
+            trace.add_span(
+                "queue-wait",
+                (time.perf_counter() - enqueued) * 1e3,
+                queue="mutation",
+            )
         # the deadline is re-checked HERE, on the mutation thread, before
         # anything is journaled or applied: a mutation that fails with
         # `deadline` was unambiguously NOT applied (clients must never
         # retry a non-idempotent op whose deadline raced the apply)
         self._check_deadline(deadline)
         try:
-            return self._mutate(op, args)
+            # the active trace lets deep layers (the WAL append/fsync hook
+            # spans) attribute their time to this request without plumbing
+            with activate(trace):
+                with trace.span("mutate") if trace is not None else nullcontext():
+                    result = self._mutate(op, args)
         except WalBrokenError as error:
             raise WalFailedError(str(error)) from error
         except OSError as error:
             raise WalFailedError(
                 f"write-ahead log failure; the operation was not applied: {error}"
             ) from error
+        if op != "checkpoint":
+            self._mutation_serial += 1
+        return result
 
     def _read_checked(
-        self, op: str, args: Dict[str, Any], deadline: Optional[float]
+        self,
+        op: str,
+        args: Dict[str, Any],
+        deadline: Optional[float],
+        trace: Optional[RequestTrace] = None,
+        enqueued: Optional[float] = None,
     ) -> Any:
+        if trace is not None and enqueued is not None:
+            trace.add_span(
+                "queue-wait", (time.perf_counter() - enqueued) * 1e3, queue="read"
+            )
         self._check_deadline(deadline)
         try:
-            return self._read(op, args)
+            with activate(trace):
+                return self._read(op, args)
         except (WorkerError, WalFollowError) as error:
             if self._supervisor is not None:
                 self._supervisor.kick()
             if self.degraded_reads and op in ("match", "top_k"):
                 self.metrics.increment("degraded_reads")
+                events.emit(
+                    "degraded_read",
+                    trace=trace.trace_id if trace is not None else None,
+                    op=op,
+                    cause=f"{type(error).__name__}: {error}"[:200],
+                )
                 return self._mutator.submit(
-                    self._degraded_read, op, args, deadline
+                    self._degraded_read, op, args, deadline, trace
                 ).result()
             raise UnavailableError(
                 f"shard workers unavailable ({error}); degraded reads are off"
             ) from None
 
     def _degraded_read(
-        self, op: str, args: Dict[str, Any], deadline: Optional[float]
+        self,
+        op: str,
+        args: Dict[str, Any],
+        deadline: Optional[float],
+        trace: Optional[RequestTrace] = None,
     ) -> Any:
         """Serve a read directly from the authority index.
 
@@ -547,24 +738,30 @@ class MatchingDaemon:
         hatch while a shard worker is being respawned and re-bootstrapped.
         """
         self._check_deadline(deadline)
-        index = self.session.index
-        offset = self._offset()
-        if op == "match":
-            answer = match_answer(index, self.session.model, self.session.pruning)
-            answer["offset"] = offset
-            answer["degraded"] = True
-            return answer
-        entity_id = str(args["entity_id"])
-        side = int(args.get("side", 0))
-        node = index.node_of(entity_id, side=side)
-        return {
-            "offset": offset,
-            "entity_id": entity_id,
-            "degraded": True,
-            "matches": top_k_answer(
-                index, self.session.model, node, int(args.get("k", 10))
-            ),
-        }
+        span = (
+            trace.span("degraded-read", op=op)
+            if trace is not None
+            else nullcontext()
+        )
+        with activate(trace), span:
+            index = self.session.index
+            offset = self._offset()
+            if op == "match":
+                answer = match_answer(index, self.session.model, self.session.pruning)
+                answer["offset"] = offset
+                answer["degraded"] = True
+                return answer
+            entity_id = str(args["entity_id"])
+            side = int(args.get("side", 0))
+            node = index.node_of(entity_id, side=side)
+            return {
+                "offset": offset,
+                "entity_id": entity_id,
+                "degraded": True,
+                "matches": top_k_answer(
+                    index, self.session.model, node, int(args.get("k", 10))
+                ),
+            }
 
     # -- mutation thread ---------------------------------------------------------
     def _offset(self) -> int:
@@ -654,7 +851,8 @@ class MatchingDaemon:
         offset = self._offset()
         if op == "match":
             view, _ = self.router.pinned_view(offset)
-            answer = match_answer(view, self.session.model, self.session.pruning)
+            with hook_span("score-and-prune"):
+                answer = match_answer(view, self.session.model, self.session.pruning)
             answer["offset"] = offset
             return answer
         if op == "top_k":
@@ -663,13 +861,11 @@ class MatchingDaemon:
             view, node = self.router.pinned_view(offset, lookup=(side, entity_id))
             if node < 0:
                 raise UnknownEntityError(entity_id, side)
-            return {
-                "offset": offset,
-                "entity_id": entity_id,
-                "matches": top_k_answer(
+            with hook_span("score-top-k"):
+                matches = top_k_answer(
                     view, self.session.model, node, int(args.get("k", 10))
-                ),
-            }
+                )
+            return {"offset": offset, "entity_id": entity_id, "matches": matches}
         if op == "stats":
             return {
                 "daemon": {
@@ -694,6 +890,11 @@ class MatchingDaemon:
                         "hang_timeout": self.hang_timeout,
                     },
                     "delta_shipping": "on" if self.delta_shipping else "off",
+                    "observability": {
+                        "tracing": "on" if self.tracing else "off",
+                        "event_log": str(self.event_log) if self.event_log else None,
+                        "slow_request_ms": self.slow_request_ms,
+                    },
                     "wal_broken": bool(self.session.wal.broken),
                 },
                 "shards": self.router.shard_stats(offset),

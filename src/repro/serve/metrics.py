@@ -1,146 +1,37 @@
-"""Serving-side observability: latency histograms, counters and gauges.
+"""Serving-side metrics — now backed by the unified ``repro.obs`` registry.
 
-:class:`ServerMetrics` is the daemon's single metrics registry.  Every
-request is recorded into a per-operation :class:`LatencyHistogram`
-(geometric buckets from 10µs to ~100s, plus exact count/sum/max), and the
-two dispatch queues (the single-threaded mutation executor and the
-single-threaded read executor) expose their depths as gauges.  The
-``stats`` endpoint serialises the registry with :meth:`ServerMetrics.snapshot`;
-``repro client stats`` renders it with :func:`render_stats` — the
-observability seed the ROADMAP's serving item asks for.
-
-Everything is guarded by one lock: recordings come from the asyncio loop,
-the mutation thread and the read thread concurrently.
+The real implementation lives in :mod:`repro.obs.registry`; this module
+keeps the serving stack's historical import surface
+(``ServerMetrics`` / ``LatencyHistogram`` / ``BUCKET_BOUNDS``) plus the
+human rendering of a ``stats`` response.  ``ServerMetrics`` *is* the
+unified :class:`~repro.obs.registry.MetricsRegistry` — one registry per
+daemon now also carries sampled process gauges (RSS, WAL size, snapshot
+age, resident shm bytes, replica lag) and the Prometheus exposition
+served by the ``metrics`` protocol op.
 """
 
 from __future__ import annotations
 
-import threading
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List
 
-#: histogram bucket upper bounds in seconds: 10^(-5) .. 10^2, four buckets
-#: per decade (geometric, factor 10^(1/4) ≈ 1.78)
-BUCKET_BOUNDS: Tuple[float, ...] = tuple(
-    10.0 ** (exponent / 4.0) for exponent in range(-20, 9)
+from repro.obs.registry import (
+    BUCKET_BOUNDS,
+    LatencyHistogram,
+    MetricsRegistry,
+    render_prometheus,
 )
 
+__all__ = [
+    "BUCKET_BOUNDS",
+    "LatencyHistogram",
+    "MetricsRegistry",
+    "ServerMetrics",
+    "render_prometheus",
+    "render_stats",
+]
 
-class LatencyHistogram:
-    """Latency distribution over fixed geometric buckets.
-
-    Percentiles are read from the bucket boundaries (the reported value is
-    the upper bound of the bucket the rank falls in — an overestimate by at
-    most one bucket width), while count, mean and max are exact.
-    """
-
-    def __init__(self) -> None:
-        self._counts = [0] * (len(BUCKET_BOUNDS) + 1)
-        self.count = 0
-        self.total_seconds = 0.0
-        self.max_seconds = 0.0
-
-    def add(self, seconds: float) -> None:
-        """Record one observation."""
-        position = 0
-        for bound in BUCKET_BOUNDS:
-            if seconds <= bound:
-                break
-            position += 1
-        self._counts[position] += 1
-        self.count += 1
-        self.total_seconds += seconds
-        if seconds > self.max_seconds:
-            self.max_seconds = seconds
-
-    def percentile(self, fraction: float) -> float:
-        """The bucket upper bound covering the ``fraction`` rank (0..1)."""
-        if self.count == 0:
-            return 0.0
-        rank = max(1, int(fraction * self.count + 0.5))
-        seen = 0
-        for position, bucket_count in enumerate(self._counts):
-            seen += bucket_count
-            if seen >= rank:
-                if position < len(BUCKET_BOUNDS):
-                    return BUCKET_BOUNDS[position]
-                return self.max_seconds
-        return self.max_seconds
-
-    def summary(self) -> Dict[str, float]:
-        """Count, mean and estimated p50/p99 in milliseconds."""
-        mean = self.total_seconds / self.count if self.count else 0.0
-        return {
-            "count": self.count,
-            "mean_ms": mean * 1e3,
-            "p50_ms": self.percentile(0.50) * 1e3,
-            "p99_ms": self.percentile(0.99) * 1e3,
-            "max_ms": self.max_seconds * 1e3,
-        }
-
-
-class ServerMetrics:
-    """The daemon's thread-safe metrics registry."""
-
-    def __init__(self) -> None:
-        self._lock = threading.Lock()
-        self._histograms: Dict[str, LatencyHistogram] = {}
-        self._errors: Dict[str, int] = {}
-        self._gauges: Dict[str, int] = {
-            "mutation_queue_depth": 0,
-            "read_queue_depth": 0,
-        }
-        #: fault-tolerance event counters (worker_restarts, degraded_reads,
-        #: shed_mutations, shed_reads, deadline_exceeded, wal_failures, ...)
-        self._counters: Dict[str, int] = {}
-        self.connections_total = 0
-        self.connections_open = 0
-
-    def increment(self, name: str, delta: int = 1) -> None:
-        """Bump a named event counter."""
-        with self._lock:
-            self._counters[name] = self._counters.get(name, 0) + delta
-
-    def record(self, op: str, seconds: float, ok: bool) -> None:
-        """Record one served request."""
-        with self._lock:
-            histogram = self._histograms.get(op)
-            if histogram is None:
-                histogram = self._histograms[op] = LatencyHistogram()
-            histogram.add(seconds)
-            if not ok:
-                self._errors[op] = self._errors.get(op, 0) + 1
-
-    def adjust_gauge(self, name: str, delta: int) -> None:
-        """Move a queue-depth gauge up or down."""
-        with self._lock:
-            self._gauges[name] = self._gauges.get(name, 0) + delta
-
-    def connection_opened(self) -> None:
-        with self._lock:
-            self.connections_total += 1
-            self.connections_open += 1
-
-    def connection_closed(self) -> None:
-        with self._lock:
-            self.connections_open -= 1
-
-    def snapshot(self) -> Dict[str, Any]:
-        """A JSON-encodable view of every counter, gauge and histogram."""
-        with self._lock:
-            return {
-                "operations": {
-                    op: dict(
-                        histogram.summary(), errors=self._errors.get(op, 0)
-                    )
-                    for op, histogram in sorted(self._histograms.items())
-                },
-                "queues": dict(self._gauges),
-                "counters": dict(sorted(self._counters.items())),
-                "connections": {
-                    "total": self.connections_total,
-                    "open": self.connections_open,
-                },
-            }
+#: the daemon's metrics registry type — kept under its historical name
+ServerMetrics = MetricsRegistry
 
 
 def render_stats(stats: Dict[str, Any]) -> str:
@@ -191,6 +82,15 @@ def render_stats(stats: Dict[str, Any]) -> str:
         lines.append(
             "events: "
             + ", ".join(f"{name}={count}" for name, count in sorted(counters.items()))
+        )
+    gauges = metrics.get("gauges", {})
+    if gauges:
+        lines.append(
+            "gauges: "
+            + ", ".join(
+                f"{name}={value:.0f}" if float(value) >= 10 else f"{name}={value:.3f}"
+                for name, value in sorted(gauges.items())
+            )
         )
     connections = metrics.get("connections")
     if connections:

@@ -11,9 +11,12 @@ UTF-8.  HTTP-free and stdlib-only by design: the daemon speaks it over
 CRC turns a desynchronised or corrupted stream into an immediate
 :class:`ProtocolError` instead of a silently misparsed request.
 
-Requests are objects ``{"op": <name>, "id": <n>, "args": {...}}``;
-responses echo the id: ``{"id": <n>, "ok": true, "result": ...}`` or
-``{"id": <n>, "ok": false, "error": {"type": ..., "message": ...}}``.
+Requests are objects ``{"op": <name>, "id": <n>, "args": {...}}`` plus an
+optional ``"trace": <hex id>`` naming the request in the observability
+layer (a client that omits it gets one minted server-side); responses
+echo the id and the trace id: ``{"id": <n>, "ok": true, "trace": ...,
+"result": ...}`` or ``{"id": <n>, "ok": false, "trace": ...,
+"error": {"type": ..., "message": ...}}``.
 """
 
 from __future__ import annotations
@@ -33,8 +36,10 @@ FRAME_HEADER = struct.Struct("<II")
 #: a peer attempt a multi-gigabyte read
 MAX_MESSAGE_BYTES = 64 << 20
 
-#: protocol revision announced by ``ping``
-PROTOCOL_VERSION = 1
+#: protocol revision announced by ``ping`` — 2 added the optional ``trace``
+#: envelope field and the ``metrics`` op; version-1 clients (no trace field)
+#: remain fully accepted and get server-minted trace ids
+PROTOCOL_VERSION = 2
 
 #: every operation the daemon serves
 OPERATIONS = (
@@ -47,6 +52,7 @@ OPERATIONS = (
     "top_k",
     "checkpoint",
     "stats",
+    "metrics",
     "shutdown",
 )
 
@@ -54,7 +60,7 @@ OPERATIONS = (
 #: send that may or may not have been processed) — reads plus checkpoint,
 #: which is idempotent by construction (re-checkpointing the same state
 #: just writes another equivalent snapshot)
-IDEMPOTENT_OPS = frozenset({"ping", "stats", "match", "top_k", "checkpoint"})
+IDEMPOTENT_OPS = frozenset({"ping", "stats", "metrics", "match", "top_k", "checkpoint"})
 
 #: typed error envelopes of the fault-tolerance layer
 #: — the request queue is full; retry after backoff
@@ -191,16 +197,24 @@ def profile_from_wire(data: Dict[str, Any]) -> EntityProfile:
 
 
 def error_response(
-    request_id: Any, error_type: str, message: str
+    request_id: Any, error_type: str, message: str, trace: Optional[str] = None
 ) -> Dict[str, Any]:
-    """A failure response envelope."""
-    return {
+    """A failure response envelope (echoing the request's trace id)."""
+    response: Dict[str, Any] = {
         "id": request_id,
         "ok": False,
         "error": {"type": error_type, "message": message},
     }
+    if trace is not None:
+        response["trace"] = trace
+    return response
 
 
-def ok_response(request_id: Any, result: Any) -> Dict[str, Any]:
-    """A success response envelope."""
-    return {"id": request_id, "ok": True, "result": result}
+def ok_response(
+    request_id: Any, result: Any, trace: Optional[str] = None
+) -> Dict[str, Any]:
+    """A success response envelope (echoing the request's trace id)."""
+    response: Dict[str, Any] = {"id": request_id, "ok": True, "result": result}
+    if trace is not None:
+        response["trace"] = trace
+    return response

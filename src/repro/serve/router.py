@@ -31,11 +31,13 @@ from __future__ import annotations
 
 import threading
 import time
+from contextlib import nullcontext
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..core.pruning import SupervisedPruningAlgorithm
+from ..obs.trace import current_trace
 from ..datamodel import Block, BlockCollection, CandidateSet, EntityIndexSpace
 from ..incremental.delta import DeltaFeatureGenerator
 from ..incremental.index import _Growable, pack_pair_keys
@@ -471,6 +473,14 @@ class ShardRouter:
         #: reader thread; the lock makes the resident state safe regardless)
         self._read_lock = threading.Lock()
         self._resident: List[Optional[_ResidentShard]] = [None] * num_shards
+        #: the daemon's mutation serial counter, for replica-lag gauges
+        #: (assigned after construction; ``None`` disables lag tracking)
+        self.serial_source: Optional[Callable[[], int]] = None
+        #: per-shard mutation serial at the last successful state ship
+        self.shipped_serials: Dict[int, int] = {}
+        #: per-shard resident shared-memory bytes, as last reported by each
+        #: worker's :class:`~repro.serve.workers.ExportSlots`
+        self.worker_shm_bytes: Dict[int, int] = {}
 
     def _spawn(self, shard: int) -> ShardWorkerHandle:
         return ShardWorkerHandle(
@@ -529,6 +539,8 @@ class ShardRouter:
                 # the replacement holds no shipped base; drop the resident
                 # view so the next read full-ships from the new worker
                 self._resident[shard] = None
+                # the old worker's export slots die with it
+                self.worker_shm_bytes.pop(shard, None)
         if not swapped:
             fresh.kill()
             return None
@@ -601,6 +613,11 @@ class ShardRouter:
         ``delta_shipping`` off) degrades to a full ship for that shard.
         """
         with self._read_lock:
+            trace = current_trace()
+            traced = trace is not None and trace.enabled
+            serial = (
+                self.serial_source() if self.serial_source is not None else None
+            )
             with self._lock:
                 resident = list(self._resident)
             commands = []
@@ -611,11 +628,33 @@ class ShardRouter:
                     if entry is not None
                     else None
                 )
-                commands.append(("read", int(offset), lookup, base))
-            payloads = self._fan_out(commands)
-            states = [
-                ShardWorkerHandle.materialize(payload) for payload in payloads
-            ]
+                commands.append(
+                    (
+                        "read",
+                        int(offset),
+                        lookup,
+                        base,
+                        trace.trace_id if traced else None,
+                    )
+                )
+            with (
+                trace.span("fan-out", shards=self.num_shards, offset=int(offset))
+                if traced
+                else nullcontext()
+            ):
+                payloads = self._fan_out(commands)
+                states = [
+                    ShardWorkerHandle.materialize(payload) for payload in payloads
+                ]
+                if traced:
+                    # the workers measured their replay/export phases locally;
+                    # graft the shipped span lists under this fan-out span
+                    for state in states:
+                        worker_spans = state["meta"].get("spans")
+                        if worker_spans:
+                            trace.graft(
+                                f"shard{state['meta'].get('shard')}", worker_spans
+                            )
             offsets = {int(state["meta"]["offset"]) for state in states}
             if len(offsets) != 1:
                 raise WorkerError(
@@ -626,6 +665,9 @@ class ShardRouter:
             bytes_full = bytes_delta = 0
             for shard, state in enumerate(states):
                 meta = state["meta"]
+                shm_bytes = meta.get("export_slot_bytes")
+                if shm_bytes is not None:
+                    self.worker_shm_bytes[shard] = int(shm_bytes)
                 nbytes = sum(int(a.nbytes) for a in state["arrays"].values())
                 if state["kind"] == "delta":
                     entry = resident[shard]
@@ -652,6 +694,19 @@ class ShardRouter:
                     bytes_full += nbytes
             with self._lock:
                 self._resident = resident
+            if serial is not None:
+                # every shard shipped state consistent with this pin, so the
+                # whole fleet is caught up to the serial captured at pin time
+                for shard in range(self.num_shards):
+                    self.shipped_serials[shard] = serial
+            if traced:
+                trace.add_span(
+                    "view-apply",
+                    (time.perf_counter() - started) * 1e3,
+                    full=full_reads,
+                    delta=delta_reads,
+                    bytes=bytes_full + bytes_delta,
+                )
             if self.metrics is not None:
                 self.metrics.increment("read_bytes_shipped", bytes_full + bytes_delta)
                 self.metrics.increment("read_bytes_full", bytes_full)

@@ -33,6 +33,7 @@ import threading
 import time
 from typing import Callable, Optional
 
+from ..obs import events
 from .router import ShardRouter
 from .workers import ShardWorkerHandle
 
@@ -138,10 +139,24 @@ class WorkerSupervisor:
         return False
 
     def _respawn(self, handle: ShardWorkerHandle, reason: str) -> None:
+        old_pid = handle.pid
+        if reason == "missed heartbeat":
+            events.emit("heartbeat_miss", shard=handle.shard, pid=old_pid)
+        elif reason == "hung request":
+            events.emit("worker_hang", shard=handle.shard, pid=old_pid)
+        elif reason == "dead":
+            events.emit("worker_dead", shard=handle.shard, pid=old_pid)
         replacement = self.router.respawn(handle.shard, expected=handle)
         if replacement is None:
             return  # router stopped, or another detector already replaced it
         self.restarts += 1
+        events.emit(
+            "worker_respawn",
+            shard=handle.shard,
+            reason=reason,
+            old_pid=old_pid,
+            new_pid=replacement.pid,
+        )
         if self.metrics is not None:
             self.metrics.increment("worker_restarts")
         if self.on_restart is not None:

@@ -22,6 +22,7 @@ states into a pinned read view (:mod:`repro.serve.router`).
 from __future__ import annotations
 
 import json
+import time
 import traceback
 import uuid
 import zlib
@@ -32,9 +33,12 @@ import numpy as np
 
 from .. import faults
 from ..incremental.index import MutableBlockIndex, UnknownEntityError
+from ..obs import events
 from ..parallel.planner import shard_of_signature
 from ..parallel.shm import SharedArray, SharedArrayHandle, attach_view, detach_view
 from ..persistence.log import LOG_MAGIC, MAX_RECORD_BYTES, _RECORD_HEADER
+
+_logger = events.get_logger(__name__)
 
 
 class WalFollowError(RuntimeError):
@@ -271,6 +275,13 @@ class ShardReplica:
                 break
             self._adopt_state(state)
             self.adopted_sequence = sequence
+            events.emit(
+                "checkpoint_adoption",
+                shard=self.shard,
+                sequence=int(sequence),
+                snapshot_offset=int(state["log_offset"]),
+                lineage=self.lineage,
+            )
             return True
         if require:
             raise WalFollowError(
@@ -504,6 +515,16 @@ class ExportSlots:
         retired, self._retired = self._retired, []
         return retired
 
+    @property
+    def total_bytes(self) -> int:
+        """Resident shared-memory bytes held across all export slots.
+
+        Counts the full *capacity* of each segment (what the OS holds),
+        not just the live prefixes — shipped per read so the daemon's
+        ``resident_shm_bytes`` gauge reflects the fleet's true footprint.
+        """
+        return sum(int(slot.array.nbytes) for slot in self._slots.values())
+
     def close(self) -> None:
         for slot in self._slots.values():
             slot.close()
@@ -525,9 +546,12 @@ def shard_worker_main(
     Commands arrive as tuples on the pipe:
 
     * ``("ping",)`` — liveness check;
-    * ``("read", offset, lookup, base)`` — catch up to the pinned offset
-      and ship the shard's read state (arrays as shared-memory handles):
-      a delta against ``base`` when the handshake matches, full otherwise;
+    * ``("read", offset, lookup, base[, trace_id])`` — catch up to the
+      pinned offset and ship the shard's read state (arrays as
+      shared-memory handles): a delta against ``base`` when the handshake
+      matches, full otherwise.  When a trace id rides along, the reply's
+      meta carries per-phase ``spans`` so replay/export time is attributed
+      to the originating request;
     * ``("stats", offset)`` — catch up and return small counters;
     * ``("stop",)`` — clean up and exit.
 
@@ -535,6 +559,7 @@ def shard_worker_main(
     a failed command never kills the worker loop.
     """
     faults.set_scope(shard)
+    events.set_role(f"shard{shard}")
     replica = ShardReplica(
         wal_dir,
         shard,
@@ -544,12 +569,17 @@ def shard_worker_main(
         allow_from_zero=allow_from_zero,
         adopt_min_gap=adopt_min_gap,
     )
+    events.emit("worker_spawn", shard=shard, lineage=replica.lineage)
     try:
         # warm start is best-effort: a failed adoption is retried (or
         # surfaced) on the first real catch_up, never fatal at spawn
         replica.prime()
     except Exception:  # noqa: BLE001 - see above
-        pass
+        _logger.warning(
+            "shard %d warm start failed; retrying on first read",
+            shard,
+            exc_info=True,
+        )
     exports = ExportSlots()
     try:
         while True:
@@ -564,13 +594,39 @@ def shard_worker_main(
                         continue  # injected wedge: swallow the ping
                     connection.send(("ok", {"shard": shard, "offset": replica.offset}))
                 elif name == "read":
-                    _, offset, lookup, base = command
+                    _, offset, lookup, base = command[:4]
+                    trace_id = command[4] if len(command) > 4 else None
+                    spans: Optional[List[Dict[str, Any]]] = (
+                        [] if trace_id is not None else None
+                    )
+                    records_before = replica.follower.records_delivered
+                    started = time.perf_counter()
                     replica.catch_up(int(offset))
+                    if spans is not None:
+                        spans.append(
+                            {
+                                "name": "catch-up",
+                                "ms": (time.perf_counter() - started) * 1e3,
+                                "records": replica.follower.records_delivered
+                                - records_before,
+                            }
+                        )
+                        started = time.perf_counter()
                     state = replica.read_state(lookup, base=base)
                     handles = {
                         key: exports.export(key, array)
                         for key, array in state["arrays"].items()
                     }
+                    if spans is not None:
+                        spans.append(
+                            {
+                                "name": "export",
+                                "ms": (time.perf_counter() - started) * 1e3,
+                                "kind": state["kind"],
+                            }
+                        )
+                        state["meta"]["spans"] = spans
+                    state["meta"]["export_slot_bytes"] = exports.total_bytes
                     connection.send(
                         (
                             "ok",
@@ -594,6 +650,13 @@ def shard_worker_main(
                         ("error", "protocol", f"unknown worker command {name!r}", "")
                     )
             except Exception as error:  # noqa: BLE001 - forwarded to the parent
+                events.emit(
+                    "worker_command_error",
+                    shard=shard,
+                    command=str(name),
+                    error=type(error).__name__,
+                    message=str(error),
+                )
                 connection.send(
                     (
                         "error",
@@ -765,8 +828,11 @@ class ShardWorkerHandle:
         offset: int,
         lookup: Optional[Tuple[int, str]] = None,
         base: Optional[Dict[str, Any]] = None,
+        trace_id: Optional[str] = None,
     ) -> Dict[str, Any]:
-        return self.materialize(self.request(("read", int(offset), lookup, base)))
+        return self.materialize(
+            self.request(("read", int(offset), lookup, base, trace_id))
+        )
 
     def stop(self, timeout: float = 5.0) -> None:
         """Ask the worker to exit; escalate to terminate if it does not."""

@@ -87,7 +87,7 @@ class TestBasicOperations:
     def test_ping_reports_protocol(self, daemon):
         with ServeClient(*daemon.address) as client:
             info = client.ping()
-        assert info["protocol"] == 1
+        assert info["protocol"] == 2
         assert info["shards"] == 2
 
     def test_mutations_and_reads(self, daemon):
@@ -173,7 +173,7 @@ class TestErrorPaths:
                 client.call("insert")  # no profile
             assert excinfo.value.error_type == "bad_request"
             # the connection survives a failed request
-            assert client.ping()["protocol"] == 1
+            assert client.ping()["protocol"] == 2
 
     def test_top_k_unknown_entity(self, daemon):
         with ServeClient(*daemon.address) as client:

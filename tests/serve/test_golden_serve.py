@@ -1,11 +1,17 @@
 """Golden request/response replay for the serving protocol.
 
 A fixed scripted client session — inserts, a bulk load, a removal, an
-in-place update, matches, a top-k lookup, a checkpoint, an error case —
-runs against an in-process daemon with the deterministic fixed-weight
-model, and every request/response envelope (after stripping the few
-fields that are environment-dependent: latencies, absolute paths, the
-package version) is frozen into ``tests/data/golden_serve.json``.
+in-place update, matches, a top-k lookup, a checkpoint, a metrics
+scrape, an error case — runs against an in-process daemon with the
+deterministic fixed-weight model, and every raw request/response
+envelope (after stripping the few fields that are
+environment-dependent: latencies, absolute paths, the package version,
+the Prometheus sample values) is frozen into
+``tests/data/golden_serve.json``.
+
+The script supplies a deterministic ``trace`` id with every request, so
+the golden also freezes the trace-echo contract of the v2 envelope: the
+response must carry back exactly the id the client sent.
 
 The WAL journals canonical JSON, so even the *offsets* in the responses
 are content-deterministic: a change to record encoding, response shape,
@@ -18,6 +24,7 @@ To regenerate after an *intentional* protocol or semantics change::
 
 import copy
 import json
+import socket
 import sys
 import tempfile
 import threading
@@ -26,7 +33,8 @@ from pathlib import Path
 import pytest
 
 from conftest import make_frozen_model
-from repro.serve import MatchingDaemon, ServeClient
+from repro.serve import MatchingDaemon
+from repro.serve.protocol import read_message_from, write_message_to
 
 GOLDEN_PATH = Path(__file__).resolve().parent.parent / "data" / "golden_serve.json"
 
@@ -47,6 +55,7 @@ SCRIPT = (
     ("match", {}),
     ("remove", {"entity_id": "ghost", "side": 0}),
     ("checkpoint", {}),
+    ("metrics", {}),
     ("stats", {}),
 )
 
@@ -61,9 +70,21 @@ def _normalize(op, envelope):
         result.pop("version", None)
     if op == "checkpoint" and "snapshot" in result:
         result["snapshot"] = Path(result["snapshot"]).name
+    if op == "metrics":
+        # sample values are timing/process-dependent; the *family set*
+        # of the exposition is part of the protocol surface
+        result["text"] = sorted(
+            line.split()[2]
+            for line in result["text"].splitlines()
+            if line.startswith("# TYPE ")
+        )
     if op == "stats":
         result.pop("metrics", None)  # latencies are timing-dependent
-        result.get("daemon", {}).pop("version", None)
+        daemon = result.get("daemon", {})
+        daemon.pop("version", None)
+        # the event-log path (when inherited from the environment) is a
+        # host-dependent absolute path
+        daemon.get("observability", {}).pop("event_log", None)
     return envelope
 
 
@@ -77,21 +98,19 @@ def _transcript():
         assert daemon.ready.wait(60)
         transcript = []
         try:
-            with ServeClient(*daemon.address) as client:
-                for op, args in SCRIPT:
-                    request = {"id": client._next_id + 1, "op": op, "args": args}
-                    try:
-                        result = client.call(op, **args)
-                        envelope = {"id": request["id"], "ok": True, "result": result}
-                    except Exception as error:
-                        envelope = {
-                            "id": request["id"],
-                            "ok": False,
-                            "error": {
-                                "type": getattr(error, "error_type", "internal"),
-                                "message": str(getattr(error, "server_message", error)),
-                            },
-                        }
+            with socket.create_connection(daemon.address, timeout=60) as sock:
+                stream = sock.makefile("rwb")
+                for index, (op, args) in enumerate(SCRIPT, start=1):
+                    request = {
+                        "id": index,
+                        "op": op,
+                        "args": args,
+                        # deterministic client-supplied trace ids: the
+                        # response must echo them back verbatim
+                        "trace": f"{index:016x}",
+                    }
+                    write_message_to(stream, request)
+                    envelope = read_message_from(stream)
                     transcript.append(
                         {"request": request, "response": _normalize(op, envelope)}
                     )
